@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package or network access (legacy
+``pip install -e . --no-use-pep517 --no-build-isolation`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""CC-Fuzz reproduction: GA-based stress testing of congestion control algorithms.
+
+This package reimplements the system described in "CC-Fuzz: Genetic
+algorithm-based fuzzing for stress testing congestion control algorithms"
+(Ray & Seshan, HotNets 2022), together with every substrate it needs: a
+packet-level discrete-event network simulator, a SACK/delayed-ACK TCP stack
+with Linux-style rate sampling, and Reno/CUBIC/BBR congestion control.
+
+Quickstart
+----------
+>>> from repro import CCFuzz, FuzzConfig, Reno
+>>> config = FuzzConfig(mode="traffic", population_size=8, generations=3, duration=2.0)
+>>> result = CCFuzz(Reno, config).run()
+>>> result.best_fitness >= result.generations[0].best_fitness
+True
+"""
+
+from .analysis import bbr_bug_evidence, compute_metrics
+from .attacks import bbr_stall_traffic_trace, lowrate_attack_trace
+from .core import CCFuzz, FuzzConfig, FuzzResult, GenerationStats, Individual, Population
+from .netsim import SimulationConfig, SimulationResult, run_simulation
+from .scoring import (
+    HighDelayScore,
+    LowUtilizationScore,
+    MinimalTrafficScore,
+    RealismScorer,
+    ScoreFunction,
+    StallScore,
+)
+from .tcp import Bbr, Cubic, Reno
+from .traces import (
+    LinkTrace,
+    LinkTraceGenerator,
+    LossTrace,
+    PacketTrace,
+    TrafficTrace,
+    TrafficTraceGenerator,
+    dist_packets,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bbr",
+    "CCFuzz",
+    "Cubic",
+    "FuzzConfig",
+    "FuzzResult",
+    "GenerationStats",
+    "HighDelayScore",
+    "Individual",
+    "LinkTrace",
+    "LinkTraceGenerator",
+    "LossTrace",
+    "LowUtilizationScore",
+    "MinimalTrafficScore",
+    "PacketTrace",
+    "Population",
+    "RealismScorer",
+    "Reno",
+    "ScoreFunction",
+    "SimulationConfig",
+    "SimulationResult",
+    "StallScore",
+    "TrafficTrace",
+    "TrafficTraceGenerator",
+    "bbr_bug_evidence",
+    "bbr_stall_traffic_trace",
+    "compute_metrics",
+    "dist_packets",
+    "lowrate_attack_trace",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Analysis utilities: metrics, queueing analysis, stall timelines, reporting."""
+
+from .metrics import FlowMetrics, compare_metrics, compute_metrics, goodput_mbps, longest_delivery_gap
+from .queueing import (
+    max_queue_depth,
+    per_flow_delay_series,
+    queue_depth_series,
+    queueing_delay_series,
+    standing_queue_estimate,
+    time_above_delay,
+)
+from .reporting import ascii_chart, format_comparison, format_generation_progress, format_table
+from .timeline import (
+    BbrBugEvidence,
+    StallPeriod,
+    bandwidth_collapse_ratio,
+    bbr_bug_evidence,
+    describe_bug_timeline,
+    extract_stall_periods,
+)
+
+__all__ = [
+    "BbrBugEvidence",
+    "FlowMetrics",
+    "StallPeriod",
+    "ascii_chart",
+    "bandwidth_collapse_ratio",
+    "bbr_bug_evidence",
+    "compare_metrics",
+    "compute_metrics",
+    "describe_bug_timeline",
+    "extract_stall_periods",
+    "format_comparison",
+    "format_generation_progress",
+    "format_table",
+    "goodput_mbps",
+    "longest_delivery_gap",
+    "max_queue_depth",
+    "per_flow_delay_series",
+    "queue_depth_series",
+    "queueing_delay_series",
+    "standing_queue_estimate",
+    "time_above_delay",
+]

@@ -1,0 +1,82 @@
+"""Flow-level metrics derived from a simulation result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..netsim.packet import CCA_FLOW, CROSS_FLOW
+from ..netsim.simulation import SimulationResult
+from ..scoring.windowed import percentile
+
+
+@dataclass
+class FlowMetrics:
+    """Headline performance metrics for the flow under test."""
+
+    cca: str
+    duration: float
+    throughput_mbps: float
+    utilization: float
+    mean_queueing_delay_ms: float
+    p95_queueing_delay_ms: float
+    p10_queueing_delay_ms: float
+    loss_rate: float
+    retransmission_ratio: float
+    rto_count: int
+    spurious_retransmissions: int
+    longest_stall_s: float
+    segments_delivered: int
+    cross_traffic_packets: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+def longest_delivery_gap(result: SimulationResult, flow: str = CCA_FLOW) -> float:
+    """Longest interval with no packet of ``flow`` leaving the bottleneck."""
+    times = result.monitor.egress_times(flow)
+    if not times:
+        return result.duration
+    gaps = [times[0]]
+    gaps.extend(b - a for a, b in zip(times, times[1:]))
+    gaps.append(result.duration - times[-1])
+    return max(gaps)
+
+
+def compute_metrics(result: SimulationResult) -> FlowMetrics:
+    """Compute :class:`FlowMetrics` for the CCA flow of a finished run."""
+    delays = [d for _, d in result.queueing_delays(CCA_FLOW)]
+    sent = max(result.sender_stats.segments_sent, 1)
+    return FlowMetrics(
+        cca=result.cca_name,
+        duration=result.duration,
+        throughput_mbps=result.throughput_mbps(),
+        utilization=result.utilization(),
+        mean_queueing_delay_ms=1000.0 * (sum(delays) / len(delays)) if delays else 0.0,
+        p95_queueing_delay_ms=1000.0 * percentile(delays, 95.0),
+        p10_queueing_delay_ms=1000.0 * percentile(delays, 10.0),
+        loss_rate=result.loss_rate(CCA_FLOW),
+        retransmission_ratio=result.sender_stats.retransmissions / sent,
+        rto_count=result.sender_stats.rto_count,
+        spurious_retransmissions=result.sender_stats.spurious_retransmissions,
+        longest_stall_s=longest_delivery_gap(result),
+        segments_delivered=result.delivered_segments(CCA_FLOW),
+        cross_traffic_packets=result.cross_sent,
+    )
+
+
+def compare_metrics(results: Dict[str, SimulationResult]) -> Dict[str, FlowMetrics]:
+    """Compute metrics for several labelled runs (e.g. one per CCA)."""
+    return {label: compute_metrics(result) for label, result in results.items()}
+
+
+def goodput_mbps(result: SimulationResult) -> float:
+    """Application goodput: unique segments delivered per second, in Mbps.
+
+    Retransmitted copies of already-delivered segments do not count, so the
+    goodput of a flow suffering heavy spurious retransmission is visibly lower
+    than its raw throughput.
+    """
+    unique_delivered = result.receiver_stats.get("rcv_next", 0)
+    return unique_delivered * result.config.mss_bytes * 8.0 / result.duration / 1e6

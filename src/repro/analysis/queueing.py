@@ -1,0 +1,64 @@
+"""Queue-occupancy and queueing-delay analysis (paper Fig. 4e)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.packet import CCA_FLOW, CROSS_FLOW
+from ..netsim.simulation import SimulationResult
+
+
+def queue_depth_series(result: SimulationResult) -> List[Tuple[float, int]]:
+    """(time, queue depth in packets) samples recorded at the gateway."""
+    return list(result.monitor.queue_depth)
+
+
+def max_queue_depth(result: SimulationResult) -> int:
+    depths = [depth for _, depth in result.monitor.queue_depth]
+    return max(depths) if depths else 0
+
+
+def queueing_delay_series(
+    result: SimulationResult, flow: str = CCA_FLOW
+) -> List[Tuple[float, float]]:
+    """(egress time, queueing delay seconds) for every delivered packet of ``flow``.
+
+    This is exactly what Fig. 4e plots, for both the BBR flow and the cross
+    traffic.
+    """
+    return result.queueing_delays(flow)
+
+
+def per_flow_delay_series(result: SimulationResult) -> Dict[str, List[Tuple[float, float]]]:
+    return {
+        CCA_FLOW: queueing_delay_series(result, CCA_FLOW),
+        CROSS_FLOW: queueing_delay_series(result, CROSS_FLOW),
+    }
+
+
+def time_above_delay(
+    result: SimulationResult, threshold_s: float, flow: str = CCA_FLOW
+) -> float:
+    """Fraction of delivered packets whose queueing delay exceeded ``threshold_s``."""
+    delays = [d for _, d in result.queueing_delays(flow)]
+    if not delays:
+        return 0.0
+    return sum(1 for d in delays if d > threshold_s) / len(delays)
+
+
+def standing_queue_estimate(result: SimulationResult, window: float = 0.5) -> List[Tuple[float, float]]:
+    """Windowed minimum queue depth — a standing queue shows as a high floor."""
+    samples = result.monitor.queue_depth
+    if not samples:
+        return []
+    out: List[Tuple[float, float]] = []
+    start = 0.0
+    duration = result.duration
+    index = 0
+    while start < duration:
+        end = start + window
+        window_depths = [depth for t, depth in samples if start <= t < end]
+        if window_depths:
+            out.append((start, float(min(window_depths))))
+        start = end
+    return out

@@ -1,0 +1,107 @@
+"""Plain-text reporting helpers.
+
+The paper's figures are reproduced as data series; these helpers render them
+as ASCII tables and line charts so examples and benchmarks can show the
+"shape" of each figure directly in a terminal, without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dictionaries as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cells[i]) for cells in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cells[i].ljust(widths[i]) for i in range(len(columns)))
+        for cells in rendered_rows
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_chart(
+    series: Sequence[Tuple[float, float]],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render an (x, y) series as a rough ASCII line chart."""
+    if not series:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in series]
+    ys = [y for _, y in series]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in series:
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:9.2f} |"
+        elif i == height - 1:
+            label = f"{y_min:9.2f} |"
+        else:
+            label = " " * 9 + " |"
+        lines.append(label + "".join(row_cells))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 10 + f" {x_min:.2f}" + " " * max(1, width - 16) + f"{x_max:.2f}")
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label_a: str,
+    value_a: float,
+    label_b: str,
+    value_b: float,
+    metric: str,
+) -> str:
+    """One-line comparison such as "reno vs attack: 11.2 -> 0.8 Mbps (14.0x)"."""
+    ratio = value_a / value_b if value_b else float("inf")
+    return f"{metric}: {label_a}={value_a:.3f} {label_b}={value_b:.3f} (ratio {ratio:.2f}x)"
+
+
+def format_generation_progress(generations: Sequence[object]) -> str:
+    """Table of per-generation GA statistics (works with GenerationStats)."""
+    rows = []
+    for stats in generations:
+        rows.append(
+            {
+                "generation": getattr(stats, "generation", "?"),
+                "best_fitness": getattr(stats, "best_fitness", float("nan")),
+                "top_k_mean": getattr(stats, "top_k_mean_fitness", float("nan")),
+                "mean_fitness": getattr(stats, "mean_fitness", float("nan")),
+                "evaluations": getattr(stats, "evaluations", 0),
+            }
+        )
+    return format_table(rows)

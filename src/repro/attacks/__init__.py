@@ -1,0 +1,22 @@
+"""Known adversarial traffic patterns used as baselines for the GA's findings."""
+
+from .bbr_stall import (
+    bbr_delay_attack_trace,
+    bbr_double_loss_burst_trace,
+    bbr_stall_link_trace,
+    bbr_stall_traffic_trace,
+)
+from .fault_injection import TargetedLoss, lose_segment_and_retransmission
+from .lowrate import attack_rate_mbps, lowrate_attack_times, lowrate_attack_trace
+
+__all__ = [
+    "TargetedLoss",
+    "attack_rate_mbps",
+    "bbr_delay_attack_trace",
+    "bbr_double_loss_burst_trace",
+    "bbr_stall_link_trace",
+    "bbr_stall_traffic_trace",
+    "lose_segment_and_retransmission",
+    "lowrate_attack_times",
+    "lowrate_attack_trace",
+]

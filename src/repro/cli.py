@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+Three entry points are installed with the package:
+
+* ``repro-fuzz`` — run the genetic search against a CCA and save the best
+  traces found.
+* ``repro-simulate`` — run a single simulation (fixed link, trace file, or a
+  built-in attack trace) and print a metrics report.
+* ``repro-trace`` — generate or inspect trace files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis.metrics import compute_metrics
+from .analysis.reporting import ascii_chart, format_generation_progress, format_table
+from .attacks import bbr_stall_traffic_trace, lowrate_attack_trace
+from .core.fuzzer import CCFuzz, FuzzConfig
+from .netsim.simulation import SimulationConfig, run_simulation
+from .scoring.base import ScoreFunction
+from .scoring.performance import HighDelayScore, HighLossScore, LowUtilizationScore
+from .scoring.trace_score import MinimalTrafficScore
+from .tcp.cca.bbr import Bbr
+from .tcp.cca.cubic import Cubic
+from .tcp.cca.reno import Reno
+from .traces.generator import LinkTraceGenerator, TrafficTraceGenerator
+from .traces.trace import LinkTrace, PacketTrace, TrafficTrace
+
+
+def _cca_factories() -> Dict[str, Callable]:
+    return {
+        "reno": Reno,
+        "cubic": Cubic,
+        "cubic-ns3bug": lambda: Cubic(ns3_slow_start_bug=True),
+        "bbr": Bbr,
+        "bbr-fixed": lambda: Bbr(probe_rtt_on_rto=True),
+    }
+
+
+def _make_score_function(objective: str, mode: str) -> ScoreFunction:
+    performance = {
+        "throughput": LowUtilizationScore(),
+        "delay": HighDelayScore(),
+        "loss": HighLossScore(),
+    }[objective]
+    trace_score = MinimalTrafficScore() if mode == "traffic" else None
+    return ScoreFunction(performance=performance, trace=trace_score, trace_weight=1e-3)
+
+
+# --------------------------------------------------------------------------- #
+# repro-fuzz
+# --------------------------------------------------------------------------- #
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-fuzz``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Genetic-algorithm stress testing of congestion control algorithms (CC-Fuzz).",
+    )
+    parser.add_argument("--cca", choices=sorted(_cca_factories()), default="bbr")
+    parser.add_argument("--mode", choices=["link", "traffic", "loss"], default="traffic")
+    parser.add_argument("--objective", choices=["throughput", "delay", "loss"], default="throughput")
+    parser.add_argument("--population", type=int, default=16, help="traces per island")
+    parser.add_argument("--islands", type=int, default=1)
+    parser.add_argument("--generations", type=int, default=10)
+    parser.add_argument("--duration", type=float, default=5.0, help="seconds simulated per trace")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--annealing-sigma", type=float, default=None)
+    parser.add_argument("--output", type=str, default=None, help="write the best trace as JSON")
+    parser.add_argument("--top", type=int, default=5, help="how many best traces to report")
+    args = parser.parse_args(argv)
+
+    config = FuzzConfig(
+        mode=args.mode,
+        population_size=args.population,
+        islands=args.islands,
+        generations=args.generations,
+        duration=args.duration,
+        seed=args.seed,
+        annealing_sigma=args.annealing_sigma,
+    )
+    fuzzer = CCFuzz(
+        _cca_factories()[args.cca],
+        config=config,
+        score_function=_make_score_function(args.objective, args.mode),
+    )
+
+    def report_progress(stats) -> None:
+        print(
+            f"generation {stats.generation:3d}  best={stats.best_fitness:10.4f}  "
+            f"top-k mean={stats.top_k_mean_fitness:10.4f}  mean={stats.mean_fitness:10.4f}"
+        )
+
+    result = fuzzer.run(progress=report_progress)
+    print()
+    print(format_generation_progress(result.generations))
+    print()
+    rows = [
+        {
+            "rank": rank + 1,
+            "fitness": individual.fitness,
+            "origin": individual.origin,
+            "packets": individual.trace.packet_count,
+            "throughput_mbps": individual.result_summary.get("throughput_mbps", "n/a"),
+        }
+        for rank, individual in enumerate(result.top_individuals(args.top))
+    ]
+    print(format_table(rows))
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.best_trace.to_json())
+        print(f"\nbest trace written to {args.output}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-simulate
+# --------------------------------------------------------------------------- #
+
+
+def simulate_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-simulate``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Run one CCA through the dumbbell bottleneck and report metrics.",
+    )
+    parser.add_argument("--cca", choices=sorted(_cca_factories()), default="bbr")
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--rate-mbps", type=float, default=12.0)
+    parser.add_argument("--queue", type=int, default=60, help="gateway queue capacity in packets")
+    parser.add_argument("--trace", type=str, default=None, help="JSON trace file (link or traffic)")
+    parser.add_argument(
+        "--attack",
+        choices=["none", "lowrate", "bbr-stall"],
+        default="none",
+        help="use a built-in attack trace instead of a file",
+    )
+    parser.add_argument("--plot", action="store_true", help="print an ASCII throughput chart")
+    args = parser.parse_args(argv)
+
+    config = SimulationConfig(
+        duration=args.duration,
+        bottleneck_rate_mbps=args.rate_mbps,
+        queue_capacity=args.queue,
+    )
+
+    link_trace = None
+    cross_times = None
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = PacketTrace.from_json(handle.read())
+        if isinstance(trace, LinkTrace):
+            link_trace = trace.timestamps
+        else:
+            cross_times = trace.timestamps
+    elif args.attack == "lowrate":
+        cross_times = lowrate_attack_trace(duration=args.duration).timestamps
+    elif args.attack == "bbr-stall":
+        cross_times = bbr_stall_traffic_trace(duration=args.duration).timestamps
+
+    result = run_simulation(
+        _cca_factories()[args.cca],
+        config,
+        link_trace=link_trace,
+        cross_traffic_times=cross_times,
+    )
+    metrics = compute_metrics(result)
+    print(format_table([metrics.as_dict()]))
+    if args.plot:
+        print()
+        print(
+            ascii_chart(
+                result.windowed_throughput(window=0.25),
+                title=f"{args.cca} windowed throughput (Mbps)",
+                y_label="Mbps",
+            )
+        )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-trace
+# --------------------------------------------------------------------------- #
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Generate or inspect CC-Fuzz trace files.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a random trace")
+    generate.add_argument("--mode", choices=["link", "traffic"], default="link")
+    generate.add_argument("--duration", type=float, default=5.0)
+    generate.add_argument("--rate-mbps", type=float, default=12.0)
+    generate.add_argument("--max-packets", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", type=str, required=True)
+
+    inspect = subparsers.add_parser("inspect", help="summarise an existing trace file")
+    inspect.add_argument("path", type=str)
+    inspect.add_argument("--window", type=float, default=0.25)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "generate":
+        if args.mode == "link":
+            generator = LinkTraceGenerator(
+                duration=args.duration, average_rate_mbps=args.rate_mbps, seed=args.seed
+            )
+        else:
+            generator = TrafficTraceGenerator(
+                duration=args.duration, max_packets=args.max_packets, seed=args.seed
+            )
+        trace = generator.generate()
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_json())
+        print(
+            f"wrote {type(trace).__name__} with {trace.packet_count} packets "
+            f"({trace.average_rate_mbps:.2f} Mbps average) to {args.output}"
+        )
+        return 0
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        trace = PacketTrace.from_json(handle.read())
+    print(f"type: {type(trace).__name__}")
+    print(f"packets: {trace.packet_count}")
+    print(f"duration: {trace.duration} s")
+    print(f"average rate: {trace.average_rate_mbps:.3f} Mbps")
+    print()
+    print(ascii_chart(trace.windowed_rates_mbps(args.window), title="windowed rate", y_label="Mbps"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(fuzz_main())

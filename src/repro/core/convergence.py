@@ -1,0 +1,47 @@
+"""Stopping criteria for the genetic search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ConvergenceCriterion:
+    """Decides when the genetic loop should stop.
+
+    The loop stops when any of the enabled conditions holds:
+
+    * ``max_generations`` reached,
+    * best fitness has not improved by more than ``min_improvement`` for
+      ``patience`` consecutive generations,
+    * best fitness reached ``target_fitness``.
+    """
+
+    max_generations: int = 50
+    patience: Optional[int] = None
+    min_improvement: float = 1e-6
+    target_fitness: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_generations <= 0:
+            raise ValueError("max_generations must be positive")
+        self._best: Optional[float] = None
+        self._stale_generations = 0
+
+    def update(self, generation: int, best_fitness: float) -> bool:
+        """Record this generation's best fitness; return True when converged."""
+        if self.target_fitness is not None and best_fitness >= self.target_fitness:
+            return True
+        if self._best is None or best_fitness > self._best + self.min_improvement:
+            self._best = max(best_fitness, self._best if self._best is not None else best_fitness)
+            self._stale_generations = 0
+        else:
+            self._stale_generations += 1
+        if self.patience is not None and self._stale_generations >= self.patience:
+            return True
+        return generation + 1 >= self.max_generations
+
+    @property
+    def stale_generations(self) -> int:
+        return self._stale_generations

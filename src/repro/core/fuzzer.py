@@ -1,0 +1,356 @@
+"""The CC-Fuzz genetic search loop (paper Fig. 1).
+
+``CCFuzz`` evolves a population of network traces against a congestion
+control algorithm.  Each generation:
+
+1. every trace is scored by simulating the CCA against it,
+2. the ``k_elite`` best traces survive unchanged,
+3. ``crossover_fraction`` of the next generation comes from splicing parent
+   pairs chosen with rank-proportional probability (traffic mode only),
+4. the remainder are mutations of rank-selected parents (optionally after
+   Gaussian trace annealing for link traces),
+5. islands exchange their best traces every ``migration_interval``
+   generations.
+
+The loop runs until the convergence criterion fires (generation budget,
+plateau patience or target fitness).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult, run_simulation
+from ..scoring.base import Score, ScoreFunction
+from ..scoring.performance import LowUtilizationScore
+from ..scoring.trace_score import MinimalTrafficScore
+from ..traces.crossover import crossover_traces
+from ..traces.generator import LinkTraceGenerator, LossTraceGenerator, TrafficTraceGenerator
+from ..traces.mutation import mutate_link_trace, mutate_loss_trace, mutate_traffic_trace
+from ..traces.trace import LinkTrace, LossTrace, PacketTrace, TrafficTrace
+from .annealing import anneal_link_trace
+from .convergence import ConvergenceCriterion
+from .islands import IslandModel
+from .population import Individual, Population
+from .results import FuzzResult, GenerationStats
+from .selection import RankSelection, pick_elites
+
+#: Fuzzing modes supported by the framework.  ``link`` and ``traffic`` are the
+#: paper's two modes; ``loss`` is the section-5 extension.
+MODES = ("link", "traffic", "loss")
+
+#: Signature for a custom evaluator (used by tests and ablations to bypass the
+#: simulator): returns the fitness and a small result summary.
+Evaluator = Callable[[PacketTrace], Tuple[Score, Dict[str, object]]]
+
+ProgressCallback = Callable[[GenerationStats], None]
+
+
+@dataclass
+class FuzzConfig:
+    """Configuration of a fuzzing run.
+
+    Defaults are laptop-scale; :meth:`paper_defaults` returns the exact
+    section-4 setup (500 traces across 20 islands).
+    """
+
+    mode: str = "traffic"
+    population_size: int = 20              #: traces per island
+    generations: int = 15
+    k_elite: int = 1
+    crossover_fraction: float = 0.3
+    islands: int = 1
+    migration_interval: int = 10
+    migration_fraction: float = 0.1
+    seed: Optional[int] = 0
+    top_k: int = 20                        #: size of the "top traces" aggregate (Fig. 4d)
+
+    # Trace-generation parameters.
+    duration: float = 5.0
+    average_rate_mbps: float = 12.0
+    total_link_packets: Optional[int] = None
+    max_traffic_packets: Optional[int] = None
+    max_losses: int = 20
+    k_agg: float = 0.05
+    rate_bound: float = 2.0
+    annealing_sigma: Optional[float] = None
+
+    # Convergence.
+    patience: Optional[int] = None
+    target_fitness: Optional[float] = None
+
+    # Simulation parameters.
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.k_elite >= self.population_size:
+            raise ValueError("k_elite must be smaller than population_size")
+        if not 0.0 <= self.crossover_fraction < 1.0:
+            raise ValueError("crossover_fraction must be in [0, 1)")
+        if self.islands < 1:
+            raise ValueError("islands must be at least 1")
+        self.sim = replace(self.sim, duration=self.duration)
+
+    @property
+    def total_population(self) -> int:
+        return self.population_size * self.islands
+
+    @classmethod
+    def paper_defaults(cls, mode: str = "traffic", **overrides) -> "FuzzConfig":
+        """The exact GA setup from section 4 of the paper.
+
+        500 traces, 20 islands (25 traces each), 10 % migration every 10
+        generations, one elite per island, 30 % crossovers.
+        """
+        params = dict(
+            mode=mode,
+            population_size=25,
+            islands=20,
+            generations=50,
+            k_elite=1,
+            crossover_fraction=0.3,
+            migration_interval=10,
+            migration_fraction=0.1,
+            duration=5.0,
+            average_rate_mbps=12.0,
+            sim=SimulationConfig.paper_defaults(),
+        )
+        params.update(overrides)
+        return cls(**params)
+
+
+class CCFuzz:
+    """Genetic-algorithm fuzzer for congestion control algorithms."""
+
+    def __init__(
+        self,
+        cca_factory: CcaFactory,
+        config: Optional[FuzzConfig] = None,
+        score_function: Optional[ScoreFunction] = None,
+        seed_traces: Optional[Sequence[PacketTrace]] = None,
+        evaluator: Optional[Evaluator] = None,
+    ) -> None:
+        self.cca_factory = cca_factory
+        self.config = config or FuzzConfig()
+        self.score_function = score_function or self._default_score_function()
+        self.seed_traces = list(seed_traces or [])
+        self._external_evaluator = evaluator
+        self.rng = random.Random(self.config.seed)
+        self.total_evaluations = 0
+        self._selection = RankSelection(self.rng)
+
+    # ------------------------------------------------------------------ #
+    # Defaults
+    # ------------------------------------------------------------------ #
+
+    def _default_score_function(self) -> ScoreFunction:
+        """Low-utilisation objective; traffic mode also rewards minimality.
+
+        The trace-score weight is small relative to a Mbps-scale performance
+        score so minimality acts as a tie-breaker, not the objective.
+        """
+        if self.config.mode == "traffic":
+            return ScoreFunction(
+                performance=LowUtilizationScore(),
+                trace=MinimalTrafficScore(),
+                trace_weight=1e-3,
+            )
+        return ScoreFunction(performance=LowUtilizationScore())
+
+    def _make_generator(self, seed: int):
+        cfg = self.config
+        if cfg.mode == "link":
+            return LinkTraceGenerator(
+                duration=cfg.duration,
+                average_rate_mbps=cfg.average_rate_mbps,
+                mss_bytes=cfg.sim.mss_bytes,
+                k_agg=cfg.k_agg,
+                rate_bound=cfg.rate_bound,
+                total_packets=cfg.total_link_packets,
+                seed=seed,
+            )
+        if cfg.mode == "traffic":
+            max_packets = cfg.max_traffic_packets
+            if max_packets is None:
+                # Default budget: enough cross traffic to fully displace the
+                # flow for roughly half the run.
+                max_packets = int(
+                    round(cfg.average_rate_mbps * 1e6 / (8 * cfg.sim.mss_bytes) * cfg.duration / 2)
+                )
+            return TrafficTraceGenerator(
+                duration=cfg.duration,
+                max_packets=max_packets,
+                mss_bytes=cfg.sim.mss_bytes,
+                k_agg=cfg.k_agg,
+                seed=seed,
+            )
+        return LossTraceGenerator(duration=cfg.duration, max_losses=cfg.max_losses, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def simulate_trace(self, trace: PacketTrace) -> SimulationResult:
+        """Run the CCA under test against a single trace."""
+        if isinstance(trace, LinkTrace):
+            return run_simulation(self.cca_factory, self.config.sim, link_trace=trace.timestamps)
+        if isinstance(trace, TrafficTrace):
+            return run_simulation(
+                self.cca_factory, self.config.sim, cross_traffic_times=trace.timestamps
+            )
+        if isinstance(trace, LossTrace):
+            return run_simulation(self.cca_factory, self.config.sim, loss_times=trace.timestamps)
+        raise TypeError(f"cannot simulate trace type {type(trace).__name__}")
+
+    def _evaluate(self, individual: Individual) -> None:
+        if self._external_evaluator is not None:
+            score, summary = self._external_evaluator(individual.trace)
+        else:
+            result = self.simulate_trace(individual.trace)
+            score = self.score_function(result, individual.trace)
+            summary = result.summary()
+        individual.score = score
+        individual.result_summary = dict(summary)
+        self.total_evaluations += 1
+
+    def _evaluate_population(self, population: Population) -> int:
+        pending = population.unevaluated()
+        for individual in pending:
+            self._evaluate(individual)
+        return len(pending)
+
+    # ------------------------------------------------------------------ #
+    # Generation construction
+    # ------------------------------------------------------------------ #
+
+    def _mutate(self, trace: PacketTrace) -> PacketTrace:
+        cfg = self.config
+        if isinstance(trace, LinkTrace):
+            base = trace
+            if cfg.annealing_sigma is not None:
+                base = anneal_link_trace(trace, sigma=cfg.annealing_sigma)
+            return mutate_link_trace(base, self.rng, k_agg=cfg.k_agg, rate_bound=cfg.rate_bound)
+        if isinstance(trace, TrafficTrace):
+            return mutate_traffic_trace(trace, self.rng, k_agg=cfg.k_agg)
+        if isinstance(trace, LossTrace):
+            return mutate_loss_trace(trace, self.rng, max_losses=cfg.max_losses)
+        raise TypeError(f"cannot mutate trace type {type(trace).__name__}")
+
+    def _crossover_count(self) -> int:
+        if self.config.mode == "link":
+            # The paper uses no crossover for link traces (section 3.2).
+            return 0
+        available = self.config.population_size - self.config.k_elite
+        return min(available, int(round(self.config.crossover_fraction * self.config.population_size)))
+
+    def _next_generation(self, population: Population, generation: int) -> Population:
+        cfg = self.config
+        ranked = population.sorted_by_fitness()
+        next_population = Population()
+
+        for elite in pick_elites(ranked, cfg.k_elite):
+            survivor = Individual(
+                trace=elite.trace.copy(),
+                score=elite.score,
+                generation_born=elite.generation_born,
+                origin="elite",
+                result_summary=dict(elite.result_summary),
+            )
+            next_population.add(survivor)
+
+        crossover_count = self._crossover_count()
+        for parent_a, parent_b in self._selection.select_pairs(ranked, crossover_count):
+            child_trace = crossover_traces(parent_a.trace, parent_b.trace, self.rng)
+            next_population.add(
+                Individual(trace=child_trace, generation_born=generation, origin="crossover")
+            )
+
+        mutation_count = cfg.population_size - len(next_population)
+        for parent in self._selection.select_many(ranked, mutation_count):
+            child_trace = self._mutate(parent.trace)
+            next_population.add(
+                Individual(trace=child_trace, generation_born=generation, origin="mutation")
+            )
+        return next_population
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def _initial_islands(self) -> IslandModel:
+        cfg = self.config
+        islands: List[Population] = []
+        seed_pool = [trace.copy() for trace in self.seed_traces]
+        base_seed = self.rng.randrange(2**31)
+        for island_index in range(cfg.islands):
+            generator = self._make_generator(seed=base_seed + island_index)
+            individuals: List[Individual] = []
+            # Seed traces (if any) are spread round-robin across islands.
+            for seed_index, trace in enumerate(seed_pool):
+                if seed_index % cfg.islands == island_index and len(individuals) < cfg.population_size:
+                    individuals.append(Individual(trace=trace.copy(), origin="seed"))
+            while len(individuals) < cfg.population_size:
+                individuals.append(Individual(trace=generator.generate(), origin="initial"))
+            islands.append(Population(individuals))
+        return IslandModel(
+            islands,
+            migration_interval=cfg.migration_interval,
+            migration_fraction=cfg.migration_fraction,
+        )
+
+    def _generation_stats(self, model: IslandModel, generation: int, evaluations: int) -> GenerationStats:
+        individuals = model.all_individuals()
+        fitnesses = sorted((ind.fitness for ind in individuals), reverse=True)
+        top_k = fitnesses[: self.config.top_k]
+        best = model.best()
+        return GenerationStats(
+            generation=generation,
+            best_fitness=fitnesses[0],
+            mean_fitness=sum(fitnesses) / len(fitnesses),
+            top_k_mean_fitness=sum(top_k) / len(top_k),
+            best_summary=dict(best.result_summary),
+            evaluations=evaluations,
+            per_island_best=[island.best().fitness for island in model.islands],
+        )
+
+    def run(self, progress: Optional[ProgressCallback] = None) -> FuzzResult:
+        """Run the genetic search and return the best traces found."""
+        cfg = self.config
+        model = self._initial_islands()
+        criterion = ConvergenceCriterion(
+            max_generations=cfg.generations,
+            patience=cfg.patience,
+            target_fitness=cfg.target_fitness,
+        )
+        history: List[GenerationStats] = []
+        generation = 0
+        while True:
+            evaluations = sum(self._evaluate_population(island) for island in model.islands)
+            stats = self._generation_stats(model, generation, evaluations)
+            history.append(stats)
+            if progress is not None:
+                progress(stats)
+            if criterion.update(generation, stats.best_fitness):
+                break
+            if model.should_migrate(generation):
+                model.migrate(generation)
+            for index, island in enumerate(model.islands):
+                model.islands[index] = self._next_generation(island, generation + 1)
+            generation += 1
+
+        best = model.best()
+        return FuzzResult(
+            mode=cfg.mode,
+            cca_name=self.cca_factory().name,
+            best_individual=best,
+            final_population=model.all_individuals(),
+            generations=history,
+            total_evaluations=self.total_evaluations,
+            converged_generation=generation,
+        )

@@ -1,0 +1,78 @@
+"""Result containers for a fuzzing run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..traces.trace import PacketTrace
+from .population import Individual
+
+
+@dataclass
+class GenerationStats:
+    """Summary of one generation (aggregated across islands).
+
+    ``top_k_mean_fitness`` mirrors the paper's Fig. 4d, which plots the mean
+    of the best 20 traces per generation.
+    """
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    top_k_mean_fitness: float
+    best_summary: Dict[str, Any] = field(default_factory=dict)
+    evaluations: int = 0
+    per_island_best: List[float] = field(default_factory=list)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a complete fuzzing run."""
+
+    mode: str
+    cca_name: str
+    best_individual: Individual
+    final_population: List[Individual]
+    generations: List[GenerationStats]
+    total_evaluations: int
+    converged_generation: int
+
+    @property
+    def best_trace(self) -> PacketTrace:
+        return self.best_individual.trace
+
+    @property
+    def best_fitness(self) -> float:
+        return self.best_individual.fitness
+
+    def top_individuals(self, count: int) -> List[Individual]:
+        """Best ``count`` individuals of the final population."""
+        ordered = sorted(self.final_population, key=lambda ind: ind.fitness, reverse=True)
+        return ordered[:count]
+
+    def fitness_trajectory(self) -> List[float]:
+        """Best fitness per generation — the convergence curve."""
+        return [stats.best_fitness for stats in self.generations]
+
+    def top_k_trajectory(self) -> List[float]:
+        """Mean fitness of the per-generation top-k — the Fig. 4d series."""
+        return [stats.top_k_mean_fitness for stats in self.generations]
+
+    def improved(self) -> bool:
+        """Whether the search improved on the initial generation's best."""
+        trajectory = self.fitness_trajectory()
+        if len(trajectory) < 2:
+            return False
+        return trajectory[-1] > trajectory[0]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "cca": self.cca_name,
+            "generations": len(self.generations),
+            "total_evaluations": self.total_evaluations,
+            "best_fitness": self.best_fitness,
+            "best_origin": self.best_individual.origin,
+            "best_result": dict(self.best_individual.result_summary),
+        }

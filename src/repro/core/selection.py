@@ -1,0 +1,60 @@
+"""Selection: elites and rank-based parent choice (paper section 3.5).
+
+Traces are ranked best-first; the top ``k_elite`` survive unchanged, and
+parents for crossover and mutation are drawn with probability proportional to
+``1 / rank`` (rank 1 = best).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from .population import Individual
+
+
+class RankSelection:
+    """Rank-proportional (1/rank) parent selection."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    @staticmethod
+    def _weights(count: int) -> List[float]:
+        return [1.0 / rank for rank in range(1, count + 1)]
+
+    def select_one(self, ranked: Sequence[Individual]) -> Individual:
+        """Pick one parent from a best-first ranked sequence."""
+        if not ranked:
+            raise ValueError("cannot select from an empty population")
+        weights = self._weights(len(ranked))
+        return self.rng.choices(list(ranked), weights=weights, k=1)[0]
+
+    def select_pairs(
+        self, ranked: Sequence[Individual], count: int
+    ) -> List[Tuple[Individual, Individual]]:
+        """Pick ``count`` parent pairs (the two parents of a pair differ when possible)."""
+        pairs: List[Tuple[Individual, Individual]] = []
+        for _ in range(count):
+            first = self.select_one(ranked)
+            second = self.select_one(ranked)
+            attempts = 0
+            while second is first and len(ranked) > 1 and attempts < 16:
+                second = self.select_one(ranked)
+                attempts += 1
+            pairs.append((first, second))
+        return pairs
+
+    def select_many(self, ranked: Sequence[Individual], count: int) -> List[Individual]:
+        """Pick ``count`` parents (with replacement)."""
+        if not ranked:
+            raise ValueError("cannot select from an empty population")
+        weights = self._weights(len(ranked))
+        return self.rng.choices(list(ranked), weights=weights, k=count)
+
+
+def pick_elites(ranked: Sequence[Individual], k_elite: int) -> List[Individual]:
+    """The top ``k_elite`` individuals (best-first input assumed)."""
+    if k_elite < 0:
+        raise ValueError("k_elite must be non-negative")
+    return list(ranked[:k_elite])

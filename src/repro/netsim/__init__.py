@@ -1,0 +1,38 @@
+"""Discrete-event network simulation substrate (the NS3 replacement).
+
+Public surface: the event scheduler, the dumbbell topology components
+(drop-tail queue, fixed-rate and trace-driven bottleneck links, cross-traffic
+source), per-flow monitoring and the :func:`run_simulation` entry point.
+"""
+
+from .crosstraffic import CrossTrafficSource
+from .engine import EventHandle, EventScheduler
+from .link import FixedRateLink, TraceDrivenLink, mbps_to_pps, pps_to_mbps
+from .monitor import FlowMonitor, PacketRecord
+from .packet import AckPacket, CCA_FLOW, CROSS_FLOW, DEFAULT_MSS, Packet, SackBlock
+from .queue import DropTailQueue
+from .simulation import SimulationConfig, SimulationResult, run_simulation
+from .topology import DumbbellTopology
+
+__all__ = [
+    "AckPacket",
+    "CCA_FLOW",
+    "CROSS_FLOW",
+    "CrossTrafficSource",
+    "DEFAULT_MSS",
+    "DropTailQueue",
+    "DumbbellTopology",
+    "EventHandle",
+    "EventScheduler",
+    "FixedRateLink",
+    "FlowMonitor",
+    "Packet",
+    "PacketRecord",
+    "SackBlock",
+    "SimulationConfig",
+    "SimulationResult",
+    "TraceDrivenLink",
+    "mbps_to_pps",
+    "pps_to_mbps",
+    "run_simulation",
+]

@@ -1,0 +1,62 @@
+"""Cross-traffic injection.
+
+In traffic-fuzzing mode the adversary controls a sequence of cross-traffic
+packet injection times (section 3.3).  The cross traffic is open-loop
+("UDP-like"): packets are pushed into the gateway queue at the trace times
+regardless of drops, and simply counted at the sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from .engine import EventScheduler
+from .packet import CROSS_FLOW, DEFAULT_MSS, Packet
+
+EnqueueCallback = Callable[[Packet, float], bool]
+
+
+class CrossTrafficSource:
+    """Injects one cross-traffic packet into the gateway per trace timestamp.
+
+    Parameters
+    ----------
+    scheduler:
+        Simulation event scheduler.
+    enqueue:
+        Callable that admits a packet to the gateway queue and returns whether
+        it was accepted (``False`` means tail-dropped).
+    injection_times:
+        Packet injection timestamps in seconds.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        enqueue: EnqueueCallback,
+        injection_times: Sequence[float],
+        mss_bytes: int = DEFAULT_MSS,
+    ) -> None:
+        self.scheduler = scheduler
+        self.enqueue = enqueue
+        self.injection_times: List[float] = sorted(float(t) for t in injection_times)
+        if any(t < 0 for t in self.injection_times):
+            raise ValueError("cross-traffic injection times must be non-negative")
+        self.mss_bytes = mss_bytes
+        self.sent = 0
+        self.dropped = 0
+
+    def start(self, horizon: float = None) -> None:
+        """Schedule every injection (optionally clipped to ``horizon``)."""
+        for t in self.injection_times:
+            if horizon is not None and t > horizon:
+                continue
+            self.scheduler.schedule_at(t, self._inject)
+
+    def _inject(self) -> None:
+        now = self.scheduler.now
+        packet = Packet(flow=CROSS_FLOW, seq=self.sent, size_bytes=self.mss_bytes, sent_time=now)
+        self.sent += 1
+        admitted = self.enqueue(packet, now)
+        if not admitted:
+            self.dropped += 1

@@ -1,0 +1,182 @@
+"""Bottleneck link models.
+
+Two service disciplines are provided, matching the paper's two fuzzing modes
+(section 3.1):
+
+* :class:`FixedRateLink` — a constant-rate bottleneck used in traffic-fuzzing
+  mode, where the adversary controls cross traffic only.
+* :class:`TraceDrivenLink` — a MahiMahi-style link whose service is defined by
+  a list of packet transmission opportunities, used in link-fuzzing mode,
+  where the adversary controls the bottleneck service curve itself.
+
+Both links drain the shared drop-tail gateway queue and hand packets to a
+delivery callback after the fixed one-way propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .engine import EventHandle, EventScheduler
+from .packet import Packet
+from .queue import DropTailQueue
+
+DeliveryCallback = Callable[[Packet, float], None]
+
+
+def mbps_to_pps(rate_mbps: float, mss_bytes: int = 1500) -> float:
+    """Convert a rate in Mbps to MSS-sized packets per second."""
+    if rate_mbps <= 0:
+        raise ValueError("rate must be positive")
+    return rate_mbps * 1e6 / (8.0 * mss_bytes)
+
+
+def pps_to_mbps(rate_pps: float, mss_bytes: int = 1500) -> float:
+    """Convert a rate in packets per second to Mbps."""
+    return rate_pps * 8.0 * mss_bytes / 1e6
+
+
+class Link:
+    """Common behaviour for bottleneck links.
+
+    A link is attached to the gateway queue and a scheduler.  Delivered
+    packets are passed to ``deliver`` after ``propagation_delay`` seconds,
+    modelling the fixed-propagation bottleneck of the paper's topology.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        queue: DropTailQueue,
+        deliver: DeliveryCallback,
+        propagation_delay: float = 0.02,
+    ) -> None:
+        self.scheduler = scheduler
+        self.queue = queue
+        self.deliver = deliver
+        self.propagation_delay = propagation_delay
+        self.serviced = 0
+        queue.set_enqueue_callback(self.on_enqueue)
+
+    def on_enqueue(self, packet: Packet, now: float) -> None:
+        """Hook called by the queue when a packet is admitted."""
+
+    def start(self) -> None:
+        """Install any service events needed before the simulation runs."""
+
+    def _transmit(self, packet: Packet, now: float) -> None:
+        self.serviced += 1
+        self.scheduler.schedule(self.propagation_delay, self.deliver, packet, )
+
+
+class FixedRateLink(Link):
+    """Constant-rate bottleneck (traffic-fuzzing mode).
+
+    The link serves one packet every ``1 / rate_pps`` seconds whenever the
+    queue is non-empty.  Service is work-conserving.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        queue: DropTailQueue,
+        deliver: DeliveryCallback,
+        rate_pps: float,
+        propagation_delay: float = 0.02,
+    ) -> None:
+        super().__init__(scheduler, queue, deliver, propagation_delay)
+        if rate_pps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_pps = rate_pps
+        self._busy = False
+
+    @property
+    def service_time(self) -> float:
+        return 1.0 / self.rate_pps
+
+    def on_enqueue(self, packet: Packet, now: float) -> None:
+        if not self._busy:
+            self._start_service(now)
+
+    def _start_service(self, now: float) -> None:
+        if self.queue.is_empty:
+            self._busy = False
+            return
+        self._busy = True
+        self.scheduler.schedule(self.service_time, self._finish_service)
+
+    def _finish_service(self) -> None:
+        now = self.scheduler.now
+        packet = self.queue.dequeue(now)
+        if packet is not None:
+            self._transmit(packet, now)
+        self._busy = False
+        if not self.queue.is_empty:
+            self._start_service(now)
+
+
+class TraceDrivenLink(Link):
+    """MahiMahi-style trace-driven bottleneck (link-fuzzing mode).
+
+    The service curve is a sorted sequence of timestamps; at each timestamp
+    the link may transmit exactly one packet.  Opportunities that find an
+    empty queue are wasted (non-work-conserving), exactly as in MahiMahi and
+    in the paper's link-fuzzing representation (section 3.2).
+
+    Parameters
+    ----------
+    opportunities:
+        Packet transmission opportunity times, in seconds.  They need not be
+        pre-sorted.
+    repeat_period:
+        If given, the opportunity schedule is repeated with this period so
+        that simulations longer than the trace keep draining the queue.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        queue: DropTailQueue,
+        deliver: DeliveryCallback,
+        opportunities: Sequence[float],
+        propagation_delay: float = 0.02,
+        repeat_period: Optional[float] = None,
+    ) -> None:
+        super().__init__(scheduler, queue, deliver, propagation_delay)
+        self.opportunities: List[float] = sorted(float(t) for t in opportunities)
+        if any(t < 0 for t in self.opportunities):
+            raise ValueError("transmission opportunities must be non-negative")
+        self.repeat_period = repeat_period
+        if repeat_period is not None and self.opportunities and repeat_period <= self.opportunities[-1]:
+            raise ValueError("repeat_period must exceed the last opportunity time")
+        self.wasted_opportunities = 0
+        self._handles: List[EventHandle] = []
+
+    def start(self, horizon: Optional[float] = None) -> None:
+        """Schedule all transmission opportunities up to ``horizon``."""
+        times = list(self.opportunities)
+        if self.repeat_period is not None and horizon is not None:
+            repeated: List[float] = []
+            offset = 0.0
+            while offset <= horizon:
+                repeated.extend(t + offset for t in self.opportunities if t + offset <= horizon)
+                offset += self.repeat_period
+            times = repeated
+        for t in times:
+            if horizon is not None and t > horizon:
+                continue
+            self._handles.append(self.scheduler.schedule_at(t, self._service_opportunity))
+
+    def _service_opportunity(self) -> None:
+        now = self.scheduler.now
+        packet = self.queue.dequeue(now)
+        if packet is None:
+            self.wasted_opportunities += 1
+            return
+        self._transmit(packet, now)
+
+    def stop(self) -> None:
+        """Cancel all pending opportunities (used when aborting a run)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()

@@ -1,0 +1,153 @@
+"""Per-flow measurement collection.
+
+The monitor records every packet admission (ingress), bottleneck departure
+(egress) and drop, plus queue-depth samples, and derives the time series the
+paper plots: ingress/egress rates (Fig. 4a/4b), per-packet queueing delay
+(Fig. 4e) and windowed throughput used by the low-utilisation score
+(section 3.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .packet import Packet
+
+
+@dataclass
+class PacketRecord:
+    """One packet's journey through the bottleneck."""
+
+    flow: str
+    seq: int
+    is_retransmit: bool
+    ingress_time: float
+    egress_time: Optional[float] = None      #: arrival at the sink (after propagation)
+    dequeue_time: Optional[float] = None     #: departure from the gateway queue
+    dropped: bool = False
+
+    @property
+    def queueing_delay(self) -> Optional[float]:
+        """Time spent queued at the gateway (None for dropped packets)."""
+        departed = self.dequeue_time if self.dequeue_time is not None else self.egress_time
+        if departed is None:
+            return None
+        return departed - self.ingress_time
+
+
+@dataclass
+class FlowMonitor:
+    """Collects packet-level records for every flow in a simulation."""
+
+    records: List[PacketRecord] = field(default_factory=list)
+    queue_depth: List[Tuple[float, int]] = field(default_factory=list)
+    _by_packet_id: Dict[int, PacketRecord] = field(default_factory=dict)
+
+    def on_ingress(self, packet: Packet, now: float, admitted: bool) -> None:
+        """Record a packet arriving at the gateway (admitted or dropped)."""
+        record = PacketRecord(
+            flow=packet.flow,
+            seq=packet.seq,
+            is_retransmit=packet.is_retransmit,
+            ingress_time=now,
+            dropped=not admitted,
+        )
+        self.records.append(record)
+        if admitted:
+            self._by_packet_id[packet.packet_id] = record
+
+    def on_egress(self, packet: Packet, now: float) -> None:
+        """Record a packet leaving the bottleneck link."""
+        record = self._by_packet_id.get(packet.packet_id)
+        if record is not None:
+            record.egress_time = now
+            record.dequeue_time = packet.dequeue_time
+
+    def on_queue_sample(self, now: float, depth: int) -> None:
+        self.queue_depth.append((now, depth))
+
+    # ------------------------------------------------------------------ #
+    # Derived series
+    # ------------------------------------------------------------------ #
+
+    def flow_records(self, flow: str) -> List[PacketRecord]:
+        return [r for r in self.records if r.flow == flow]
+
+    def egress_times(self, flow: str) -> List[float]:
+        """Sorted departure times of delivered packets for ``flow``."""
+        times = [r.egress_time for r in self.records if r.flow == flow and r.egress_time is not None]
+        times.sort()
+        return times
+
+    def ingress_times(self, flow: str) -> List[float]:
+        times = [r.ingress_time for r in self.records if r.flow == flow]
+        times.sort()
+        return times
+
+    def drops(self, flow: str) -> int:
+        return sum(1 for r in self.records if r.flow == flow and r.dropped)
+
+    def delivered_count(self, flow: str) -> int:
+        return sum(1 for r in self.records if r.flow == flow and r.egress_time is not None)
+
+    def sent_count(self, flow: str) -> int:
+        return sum(1 for r in self.records if r.flow == flow)
+
+    def queueing_delays(self, flow: str) -> List[Tuple[float, float]]:
+        """(egress time, gateway queueing delay) pairs for delivered packets of ``flow``.
+
+        The delay is measured from queue admission to queue departure, so it
+        excludes the fixed propagation delay (matching the paper's
+        "Queuing Delay" axis in Fig. 4e).
+        """
+        pairs = [
+            (r.egress_time, r.queueing_delay)
+            for r in self.records
+            if r.flow == flow and r.egress_time is not None and r.queueing_delay is not None
+        ]
+        pairs.sort()
+        return pairs
+
+    def windowed_rate(
+        self,
+        flow: str,
+        window: float,
+        duration: float,
+        mss_bytes: int = 1500,
+        use_ingress: bool = False,
+    ) -> List[Tuple[float, float]]:
+        """Windowed rate in Mbps over consecutive ``window``-second bins.
+
+        Returns a list of ``(window_start_time, rate_mbps)`` tuples covering
+        ``[0, duration)``.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        times = self.ingress_times(flow) if use_ingress else self.egress_times(flow)
+        series: List[Tuple[float, float]] = []
+        start = 0.0
+        while start < duration:
+            end = min(start + window, duration)
+            lo = bisect.bisect_left(times, start)
+            hi = bisect.bisect_left(times, end)
+            count = hi - lo
+            span = end - start
+            rate_mbps = count * mss_bytes * 8.0 / span / 1e6 if span > 0 else 0.0
+            series.append((start, rate_mbps))
+            start += window
+        return series
+
+    def average_rate_mbps(self, flow: str, duration: float, mss_bytes: int = 1500) -> float:
+        """Average egress rate of ``flow`` over the whole run."""
+        if duration <= 0:
+            return 0.0
+        return self.delivered_count(flow) * mss_bytes * 8.0 / duration / 1e6
+
+    def loss_rate(self, flow: str) -> float:
+        """Fraction of packets of ``flow`` dropped at the gateway."""
+        sent = self.sent_count(flow)
+        if sent == 0:
+            return 0.0
+        return self.drops(flow) / sent

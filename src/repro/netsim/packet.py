@@ -1,0 +1,108 @@
+"""Packet types used by the simulator.
+
+Data flows at segment granularity: every data packet carries exactly one
+MSS-sized segment identified by an integer sequence number.  This mirrors the
+packet-train abstraction used by the paper's NS3 setup (and by MahiMahi),
+where the unit of link service is one MTU-sized packet.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Default maximum segment size in bytes (Ethernet MTU sized frames).
+DEFAULT_MSS = 1500
+
+#: Flow identifier used for the congestion-controlled flow under test.
+CCA_FLOW = "cca"
+
+#: Flow identifier used for adversarial cross traffic.
+CROSS_FLOW = "cross"
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A data packet traversing the bottleneck.
+
+    Attributes
+    ----------
+    flow:
+        Either :data:`CCA_FLOW` or :data:`CROSS_FLOW`.
+    seq:
+        Segment sequence number (segment index, not a byte offset).  Cross
+        traffic packets use a per-source counter.
+    size_bytes:
+        Wire size of the packet.
+    is_retransmit:
+        True when this packet is a TCP retransmission.
+    enqueue_time:
+        Stamped by the gateway queue on admission; used for queueing-delay
+        accounting.
+    """
+
+    flow: str
+    seq: int
+    size_bytes: int = DEFAULT_MSS
+    is_retransmit: bool = False
+    sent_time: float = 0.0
+    enqueue_time: Optional[float] = None
+    dequeue_time: Optional[float] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "retx" if self.is_retransmit else "data"
+        return f"Packet({self.flow}:{self.seq} {kind} @{self.sent_time:.4f})"
+
+
+@dataclass(frozen=True)
+class SackBlock:
+    """A single SACK block covering segments ``start`` .. ``end - 1``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty or inverted SACK block [{self.start}, {self.end})")
+
+    def __contains__(self, seq: int) -> bool:
+        return self.start <= seq < self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class AckPacket:
+    """An acknowledgement travelling from the receiver back to the sender.
+
+    Attributes
+    ----------
+    cumulative_ack:
+        The next sequence number the receiver expects (all segments below it
+        have been received in order).
+    sack_blocks:
+        Up to three SACK blocks describing out-of-order data, most recently
+        received block first (mirroring Linux behaviour).
+    ack_count:
+        Number of data segments this ACK acknowledges receipt of since the
+        previous ACK (>= 1; 2 when a delayed ACK covers two segments).
+    """
+
+    cumulative_ack: int
+    sack_blocks: Tuple[SackBlock, ...] = ()
+    ack_count: int = 1
+    sent_time: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def sacked(self, seq: int) -> bool:
+        """True when ``seq`` is covered by one of the SACK blocks."""
+        return any(seq in block for block in self.sack_blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        blocks = ",".join(f"[{b.start},{b.end})" for b in self.sack_blocks)
+        return f"Ack(cum={self.cumulative_ack} sack={blocks})"

@@ -1,0 +1,205 @@
+"""High-level simulation entry point.
+
+``run_simulation`` builds the paper's dumbbell topology, runs the flow under
+test against a link trace or cross-traffic trace, and returns a
+:class:`SimulationResult` with everything the scoring functions and analysis
+need: per-packet records, windowed throughput, queueing delays and the
+sender/CCA internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .packet import Packet
+
+from ..tcp.cca.base import CongestionControl
+from .engine import EventScheduler
+from .monitor import FlowMonitor
+from .packet import CCA_FLOW, CROSS_FLOW
+from .topology import DumbbellTopology
+
+#: Factory producing a fresh congestion-control instance for every run.
+CcaFactory = Callable[[], CongestionControl]
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulation run (paper defaults from section 4)."""
+
+    duration: float = 5.0
+    bottleneck_rate_mbps: float = 12.0
+    propagation_delay: float = 0.02
+    queue_capacity: int = 60
+    mss_bytes: int = 1500
+    delayed_ack: bool = True
+    delack_timeout: float = 0.040
+    min_rto: float = 1.0
+    sender_start_time: float = 0.0
+    record_series: bool = True
+    max_events: Optional[int] = 2_000_000
+
+    def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper_defaults(cls) -> "SimulationConfig":
+        """The exact setup described in section 4 of the paper."""
+        return cls(
+            duration=5.0,
+            bottleneck_rate_mbps=12.0,
+            propagation_delay=0.02,
+            queue_capacity=60,
+            mss_bytes=1500,
+            delayed_ack=True,
+            min_rto=1.0,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one run."""
+
+    config: SimulationConfig
+    monitor: FlowMonitor
+    sender_stats: Any
+    cca_name: str
+    cca_diagnostics: Dict[str, Any]
+    receiver_stats: Dict[str, Any]
+    queue_drops: Dict[str, int]
+    cross_sent: int = 0
+    cross_delivered: int = 0
+    cross_dropped_at_queue: int = 0
+    link_wasted_opportunities: int = 0
+    forced_losses: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Convenience metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def duration(self) -> float:
+        return self.config.duration
+
+    def throughput_mbps(self, flow: str = CCA_FLOW) -> float:
+        """Average egress throughput of ``flow`` over the run."""
+        return self.monitor.average_rate_mbps(flow, self.duration, self.config.mss_bytes)
+
+    def delivered_segments(self, flow: str = CCA_FLOW) -> int:
+        return self.monitor.delivered_count(flow)
+
+    def segments_sent(self, flow: str = CCA_FLOW) -> int:
+        return self.monitor.sent_count(flow)
+
+    def windowed_throughput(
+        self, window: float = 0.25, flow: str = CCA_FLOW
+    ) -> List[Tuple[float, float]]:
+        return self.monitor.windowed_rate(flow, window, self.duration, self.config.mss_bytes)
+
+    def queueing_delays(self, flow: str = CCA_FLOW) -> List[Tuple[float, float]]:
+        return self.monitor.queueing_delays(flow)
+
+    def loss_rate(self, flow: str = CCA_FLOW) -> float:
+        return self.monitor.loss_rate(flow)
+
+    def utilization(self, flow: str = CCA_FLOW) -> float:
+        """Fraction of the nominal bottleneck rate achieved by ``flow``."""
+        if self.config.bottleneck_rate_mbps <= 0:
+            return 0.0
+        return self.throughput_mbps(flow) / self.config.bottleneck_rate_mbps
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dictionary summary used by reports and the CLI."""
+        return {
+            "cca": self.cca_name,
+            "duration_s": self.duration,
+            "throughput_mbps": round(self.throughput_mbps(), 4),
+            "utilization": round(self.utilization(), 4),
+            "cca_segments_delivered": self.delivered_segments(),
+            "cca_segments_sent": self.segments_sent(),
+            "cca_drops": self.queue_drops.get(CCA_FLOW, 0),
+            "cross_sent": self.cross_sent,
+            "cross_delivered": self.cross_delivered,
+            "cross_drops": self.queue_drops.get(CROSS_FLOW, 0),
+            "retransmissions": self.sender_stats.retransmissions,
+            "spurious_retransmissions": self.sender_stats.spurious_retransmissions,
+            "rto_count": self.sender_stats.rto_count,
+        }
+
+
+def run_simulation(
+    cca_factory: CcaFactory,
+    config: Optional[SimulationConfig] = None,
+    link_trace: Optional[Sequence[float]] = None,
+    cross_traffic_times: Optional[Sequence[float]] = None,
+    loss_times: Optional[Sequence[float]] = None,
+    drop_filter: Optional[Callable[[Packet, float], bool]] = None,
+) -> SimulationResult:
+    """Run one flow of the given CCA through the dumbbell bottleneck.
+
+    Parameters
+    ----------
+    cca_factory:
+        Zero-argument callable returning a fresh CCA instance (e.g. ``Bbr`` or
+        ``lambda: Cubic(ns3_slow_start_bug=True)``).
+    config:
+        Simulation parameters; defaults to the paper's section-4 setup.
+    link_trace:
+        Bottleneck transmission-opportunity times (link-fuzzing mode).  When
+        omitted the bottleneck is a fixed-rate link.
+    cross_traffic_times:
+        Cross-traffic injection times (traffic-fuzzing mode).
+    loss_times:
+        Forced-loss schedule (loss-fuzzing extension): each time drops the
+        next CCA packet departing the bottleneck.
+    drop_filter:
+        Fault-injection predicate ``f(packet, now) -> bool``; packets for
+        which it returns True are dropped before reaching the gateway.  Used
+        to reproduce surgical loss patterns (e.g. "drop segment N twice").
+    """
+    config = config or SimulationConfig()
+    scheduler = EventScheduler()
+    cca = cca_factory()
+    topology = DumbbellTopology(
+        scheduler,
+        cca=cca,
+        duration=config.duration,
+        bottleneck_rate_mbps=config.bottleneck_rate_mbps,
+        propagation_delay=config.propagation_delay,
+        queue_capacity=config.queue_capacity,
+        mss_bytes=config.mss_bytes,
+        link_trace=link_trace,
+        cross_traffic_times=cross_traffic_times,
+        loss_times=loss_times,
+        drop_filter=drop_filter,
+        delayed_ack=config.delayed_ack,
+        delack_timeout=config.delack_timeout,
+        min_rto=config.min_rto,
+        sender_start_time=config.sender_start_time,
+        record_series=config.record_series,
+    )
+    topology.run(max_events=config.max_events)
+
+    receiver = topology.receiver
+    link = topology.link
+    return SimulationResult(
+        config=config,
+        monitor=topology.monitor,
+        sender_stats=topology.sender.stats,
+        cca_name=cca.name,
+        cca_diagnostics=cca.diagnostics(),
+        receiver_stats={
+            "segments_received": receiver.segments_received,
+            "acks_sent": receiver.acks_sent,
+            "duplicate_segments": receiver.duplicate_segments,
+            "rcv_next": receiver.rcv_next,
+        },
+        queue_drops=dict(topology.queue.drops),
+        cross_sent=topology.cross_traffic.sent if topology.cross_traffic else 0,
+        cross_delivered=topology.cross_delivered,
+        cross_dropped_at_queue=topology.cross_traffic.dropped if topology.cross_traffic else 0,
+        link_wasted_opportunities=getattr(link, "wasted_opportunities", 0),
+        forced_losses=topology.forced_losses,
+    )

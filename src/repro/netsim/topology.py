@@ -1,0 +1,164 @@
+"""Dumbbell topology assembly.
+
+The paper's network model (section 3.1): two sources — the flow under test
+and a cross-traffic source — feed a gateway with a fixed-size drop-tail FIFO
+queue; the gateway is connected to the sink by a bottleneck link with fixed
+propagation delay.  ACKs return over an uncongested reverse path with the
+same propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..tcp.cca.base import CongestionControl
+from ..tcp.receiver import TcpReceiver
+from ..tcp.sender import TcpSender
+from .crosstraffic import CrossTrafficSource
+from .engine import EventScheduler
+from .link import FixedRateLink, Link, TraceDrivenLink, mbps_to_pps
+from .monitor import FlowMonitor
+from .packet import AckPacket, CCA_FLOW, Packet
+from .queue import DropTailQueue
+
+
+class DumbbellTopology:
+    """Wires the sender, cross traffic, gateway queue, bottleneck and sink."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        cca: CongestionControl,
+        duration: float,
+        bottleneck_rate_mbps: float = 12.0,
+        propagation_delay: float = 0.02,
+        queue_capacity: int = 60,
+        mss_bytes: int = 1500,
+        link_trace: Optional[Sequence[float]] = None,
+        cross_traffic_times: Optional[Sequence[float]] = None,
+        loss_times: Optional[Sequence[float]] = None,
+        drop_filter: Optional[Callable[["Packet", float], bool]] = None,
+        delayed_ack: bool = True,
+        delack_timeout: float = 0.040,
+        min_rto: float = 1.0,
+        sender_start_time: float = 0.0,
+        record_series: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.duration = duration
+        self.mss_bytes = mss_bytes
+        self.propagation_delay = propagation_delay
+        self.monitor = FlowMonitor()
+
+        self.queue = DropTailQueue(capacity_packets=queue_capacity)
+        self.queue_capacity = queue_capacity
+
+        if link_trace is not None:
+            self.link: Link = TraceDrivenLink(
+                scheduler,
+                self.queue,
+                self._deliver_to_sink,
+                opportunities=link_trace,
+                propagation_delay=propagation_delay,
+            )
+        else:
+            self.link = FixedRateLink(
+                scheduler,
+                self.queue,
+                self._deliver_to_sink,
+                rate_pps=mbps_to_pps(bottleneck_rate_mbps, mss_bytes),
+                propagation_delay=propagation_delay,
+            )
+
+        self.receiver = TcpReceiver(
+            scheduler,
+            send_ack=self._return_ack,
+            delayed_ack=delayed_ack,
+            delack_timeout=delack_timeout,
+        )
+        self.sender = TcpSender(
+            scheduler,
+            cca=cca,
+            transmit=self._send_from_source,
+            mss_bytes=mss_bytes,
+            min_rto=min_rto,
+            start_time=sender_start_time,
+            record_series=record_series,
+        )
+
+        self.cross_traffic: Optional[CrossTrafficSource] = None
+        if cross_traffic_times is not None:
+            self.cross_traffic = CrossTrafficSource(
+                scheduler,
+                enqueue=self._inject_cross_traffic,
+                injection_times=cross_traffic_times,
+                mss_bytes=mss_bytes,
+            )
+
+        self.cross_delivered = 0
+        # Random-loss schedule (section 5 extension): each entry drops the
+        # next CCA packet departing the bottleneck at or after that time.
+        self._pending_losses = sorted(float(t) for t in loss_times) if loss_times else []
+        self.forced_losses = 0
+        # Fault-injection hook: drops matching CCA packets before they reach
+        # the gateway (used to reproduce specific loss patterns such as
+        # "lose segment N and its first retransmission", Fig. 4c).
+        self._drop_filter = drop_filter
+
+    # ------------------------------------------------------------------ #
+    # Wiring callbacks
+    # ------------------------------------------------------------------ #
+
+    def _send_from_source(self, packet: Packet) -> None:
+        """Sender hand-off: the access link is infinitely fast (section 3.1)."""
+        now = self.scheduler.now
+        if self._drop_filter is not None and self._drop_filter(packet, now):
+            self.forced_losses += 1
+            self.monitor.on_ingress(packet, now, admitted=False)
+            return
+        admitted = self.queue.enqueue(packet, now)
+        self.monitor.on_ingress(packet, now, admitted)
+
+    def _inject_cross_traffic(self, packet: Packet, now: float) -> bool:
+        admitted = self.queue.enqueue(packet, now)
+        self.monitor.on_ingress(packet, now, admitted)
+        return admitted
+
+    def _deliver_to_sink(self, packet: Packet) -> None:
+        now = self.scheduler.now
+        if (
+            packet.flow == CCA_FLOW
+            and self._pending_losses
+            and now >= self._pending_losses[0]
+        ):
+            self._pending_losses.pop(0)
+            self.forced_losses += 1
+            return
+        self.monitor.on_egress(packet, now)
+        if packet.flow == CCA_FLOW:
+            self.receiver.on_segment(packet)
+        else:
+            self.cross_delivered += 1
+
+    def _return_ack(self, ack: AckPacket) -> None:
+        self.scheduler.schedule(self.propagation_delay, self.sender.on_ack, ack)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Install all initial events."""
+        if isinstance(self.link, TraceDrivenLink):
+            self.link.start(horizon=self.duration)
+        else:
+            self.link.start()
+        if self.cross_traffic is not None:
+            self.cross_traffic.start(horizon=self.duration)
+        self.sender.start()
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        self.start()
+        self.scheduler.run(until=self.duration, max_events=max_events)
+        # Propagate queue depth samples to the monitor for analysis.
+        self.monitor.queue_depth = list(self.queue.depth_samples)

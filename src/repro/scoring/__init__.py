@@ -1,0 +1,39 @@
+"""Scoring functions: performance scores, trace scores and realism scoring."""
+
+from .base import PerformanceScore, Score, ScoreFunction, TraceScore
+from .performance import (
+    CompositeScore,
+    HighDelayScore,
+    HighLossScore,
+    LowUtilizationScore,
+    RetransmissionScore,
+    StallScore,
+    WholeRunThroughputScore,
+)
+from .realism import RealismReport, RealismScorer, default_reference_panel
+from .trace_score import MinimalTrafficScore, NullTraceScore, SmoothnessScore
+from .windowed import bottom_fraction_mean, percentile, top_fraction_mean, windowed_throughput_mbps
+
+__all__ = [
+    "CompositeScore",
+    "HighDelayScore",
+    "HighLossScore",
+    "LowUtilizationScore",
+    "MinimalTrafficScore",
+    "NullTraceScore",
+    "PerformanceScore",
+    "RealismReport",
+    "RealismScorer",
+    "RetransmissionScore",
+    "Score",
+    "ScoreFunction",
+    "SmoothnessScore",
+    "StallScore",
+    "TraceScore",
+    "WholeRunThroughputScore",
+    "bottom_fraction_mean",
+    "default_reference_panel",
+    "percentile",
+    "top_fraction_mean",
+    "windowed_throughput_mbps",
+]

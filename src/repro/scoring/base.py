@@ -1,0 +1,84 @@
+"""Scoring interfaces.
+
+A trace's fitness has two components (paper section 3.4):
+
+* the **performance score**, computed from the simulation result, which is
+  higher when the CCA behaved worse (low throughput, high delay, ...), and
+* the **trace score**, computed from the trace itself, which expresses
+  implicit constraints such as "use as few cross-traffic packets as possible".
+
+Both are combined into a single fitness value; the genetic algorithm always
+maximises fitness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netsim.simulation import SimulationResult
+from ..traces.trace import PacketTrace
+
+
+@dataclass(frozen=True)
+class Score:
+    """Fitness of one trace: total = performance + trace component."""
+
+    total: float
+    performance: float
+    trace: float = 0.0
+
+    def __float__(self) -> float:
+        return self.total
+
+
+class PerformanceScore(abc.ABC):
+    """Scores a simulation result; higher means worse CCA behaviour."""
+
+    name: str = "performance"
+
+    @abc.abstractmethod
+    def __call__(self, result: SimulationResult) -> float:
+        """Return the performance component of the fitness."""
+
+
+class TraceScore(abc.ABC):
+    """Scores a trace's intrinsic desirability (e.g. minimality)."""
+
+    name: str = "trace"
+
+    @abc.abstractmethod
+    def __call__(self, trace: PacketTrace, result: Optional[SimulationResult] = None) -> float:
+        """Return the trace component of the fitness."""
+
+
+class ScoreFunction:
+    """Combines a performance score and an optional trace score."""
+
+    def __init__(
+        self,
+        performance: PerformanceScore,
+        trace: Optional[TraceScore] = None,
+        performance_weight: float = 1.0,
+        trace_weight: float = 1.0,
+    ) -> None:
+        self.performance = performance
+        self.trace = trace
+        self.performance_weight = performance_weight
+        self.trace_weight = trace_weight
+
+    def __call__(self, result: SimulationResult, trace: PacketTrace) -> Score:
+        performance_component = self.performance_weight * self.performance(result)
+        trace_component = 0.0
+        if self.trace is not None:
+            trace_component = self.trace_weight * self.trace(trace, result)
+        return Score(
+            total=performance_component + trace_component,
+            performance=performance_component,
+            trace=trace_component,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        trace_name = self.trace.name if self.trace is not None else "none"
+        return f"ScoreFunction(performance={self.performance.name}, trace={trace_name})"

@@ -1,0 +1,28 @@
+"""TCP substrate: sender, receiver and congestion-control algorithms."""
+
+from .cca.base import AckEvent, CongestionControl
+from .cca.bbr import Bbr
+from .cca.cubic import Cubic
+from .cca.reno import Reno
+from .rate_sampler import DeliveryRateEstimator, RateSample, SegmentTxState
+from .receiver import TcpReceiver
+from .rto import RttEstimator
+from .sack import SackScoreboard, SegmentState
+from .sender import SenderStats, TcpSender
+
+__all__ = [
+    "AckEvent",
+    "Bbr",
+    "CongestionControl",
+    "Cubic",
+    "DeliveryRateEstimator",
+    "RateSample",
+    "Reno",
+    "RttEstimator",
+    "SackScoreboard",
+    "SegmentState",
+    "SegmentTxState",
+    "SenderStats",
+    "TcpReceiver",
+    "TcpSender",
+]

@@ -1,0 +1,15 @@
+"""Congestion-control algorithms under test."""
+
+from .base import AckEvent, CongestionControl
+from .bbr import Bbr
+from .cubic import Cubic
+from .reno import Reno
+
+#: Registry of CCA constructors by name (used by the CLI and realism scoring).
+CCA_REGISTRY = {
+    "reno": Reno,
+    "cubic": Cubic,
+    "bbr": Bbr,
+}
+
+__all__ = ["AckEvent", "Bbr", "CCA_REGISTRY", "CongestionControl", "Cubic", "Reno"]

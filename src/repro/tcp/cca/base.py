@@ -1,0 +1,93 @@
+"""Congestion-control algorithm interface.
+
+The sender drives a :class:`CongestionControl` instance through a small set
+of callbacks (ACK processing, loss, RTO) and reads back two knobs: the
+congestion window (in segments) and an optional pacing rate (segments per
+second).  Window-based algorithms (Reno, CUBIC) leave the pacing rate unset;
+rate-based algorithms (BBR) set both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..rate_sampler import RateSample
+
+
+@dataclass
+class AckEvent:
+    """Information handed to the CCA for every processed ACK."""
+
+    now: float
+    newly_acked: int            #: segments newly covered by the cumulative ACK (including
+                                #: previously-SACKed ones) — what window growth sees
+    newly_sacked: int           #: segments newly selectively acknowledged
+    newly_delivered: int        #: segments delivered for the first time (rate-sampling count)
+    cumulative_ack: int
+    delivered: int              #: connection-lifetime delivered segment count
+    in_flight: int              #: pipe after this ACK was applied
+    rate_sample: Optional[RateSample]
+    rtt: Optional[float]        #: RTT sample from this ACK (None if unavailable)
+    in_recovery: bool
+    in_rto_recovery: bool
+
+
+class CongestionControl(abc.ABC):
+    """Abstract congestion-control algorithm."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._sender: Optional[Any] = None
+
+    def attach(self, sender: Any) -> None:
+        """Bind the algorithm to the sender that owns it."""
+        self._sender = sender
+
+    @property
+    def sender(self) -> Any:
+        return self._sender
+
+    # ------------------------------------------------------------------ #
+    # Event callbacks
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def on_ack(self, event: AckEvent) -> None:
+        """Process an acknowledgement (cumulative and/or selective)."""
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        """Called once when the sender enters fast-recovery."""
+
+    def on_recovery_exit(self, now: float) -> None:
+        """Called when the sender leaves fast-recovery or RTO recovery."""
+
+    def on_rto(self, now: float, in_flight: int) -> None:
+        """Called when the retransmission timer expires."""
+
+    # ------------------------------------------------------------------ #
+    # Control outputs
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def cwnd(self) -> float:
+        """Congestion window in segments."""
+
+    @property
+    def pacing_rate(self) -> Optional[float]:
+        """Pacing rate in segments per second (None = no pacing)."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def diagnostics(self) -> Dict[str, Any]:
+        """Algorithm-specific diagnostic counters for analysis and tests."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(cwnd={self.cwnd:.1f})"

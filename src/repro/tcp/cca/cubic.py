@@ -1,0 +1,219 @@
+"""TCP CUBIC congestion control, with the NS3 slow-start bug reproducible.
+
+CUBIC grows its window along a cubic curve anchored at the window size before
+the last loss.  Slow start behaves like Reno.
+
+Section 4.2 of the paper reports an NS3-specific implementation bug that
+CC-Fuzz triggered: when a retransmission is itself lost, the connection falls
+back to an RTO and slow start; the ACK for the second retransmission then
+cumulatively acknowledges a large amount of data at once, and NS3's CUBIC
+adds the full number of newly acknowledged segments to the window *without
+clamping at ssthresh*.  The result is a near 1-RTO-sized burst and
+catastrophic loss.  The Linux implementation clamps correctly.
+
+``ns3_slow_start_bug=True`` reproduces the buggy behaviour;
+``False`` (default) reproduces the correct Linux behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .base import AckEvent, CongestionControl
+
+
+class Cubic(CongestionControl):
+    """CUBIC congestion control (RFC 8312 constants)."""
+
+    name = "cubic"
+
+    #: CUBIC scaling constant (segments / s^3).
+    C = 0.4
+    #: Multiplicative decrease factor.
+    BETA = 0.7
+
+    def __init__(
+        self,
+        initial_cwnd: float = 10.0,
+        initial_ssthresh: float = float("inf"),
+        min_cwnd: float = 1.0,
+        ns3_slow_start_bug: bool = False,
+        fast_convergence: bool = True,
+        hystart: bool = True,
+        hystart_min_delay_increase: float = 0.004,
+        hystart_max_delay_increase: float = 0.016,
+    ) -> None:
+        super().__init__()
+        self._cwnd = float(initial_cwnd)
+        self.ssthresh = float(initial_ssthresh)
+        self.min_cwnd = float(min_cwnd)
+        self.ns3_slow_start_bug = ns3_slow_start_bug
+        self.fast_convergence = fast_convergence
+        #: HyStart (delay-increase variant), enabled by default as in both the
+        #: Linux and NS3 CUBIC implementations: slow start exits as soon as the
+        #: RTT rises noticeably above its observed minimum, avoiding the huge
+        #: overshoot-and-timeout that blind doubling causes on shallow buffers.
+        self.hystart = hystart
+        self.hystart_min_delay_increase = hystart_min_delay_increase
+        self.hystart_max_delay_increase = hystart_max_delay_increase
+        self.hystart_min_samples = 8
+        self._min_rtt: float = float("inf")
+        self._round_min_rtt: float = float("inf")
+        self._round_samples = 0
+        self._round_end_time = 0.0
+        self.hystart_exits = 0
+
+        self.w_max = 0.0
+        self._epoch_start: float = -1.0
+        self._k = 0.0
+        self._origin_point = 0.0
+        self._w_tcp = 0.0
+        self._in_recovery = False
+        self._exited_via_rto = False
+
+        self.loss_events = 0
+        self.rto_events = 0
+        #: Largest single-ACK window jump observed while in slow start; the
+        #: NS3 bug manifests as a jump far larger than ssthresh allows.
+        self.max_slow_start_jump = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Window growth
+    # ------------------------------------------------------------------ #
+
+    def on_ack(self, event: AckEvent) -> None:
+        if event.rtt is not None:
+            self._min_rtt = min(self._min_rtt, event.rtt)
+            if self.hystart and self._cwnd < self.ssthresh:
+                self._hystart_check(event.now, event.rtt)
+        acked = float(event.newly_acked)
+        if acked <= 0 or self._in_recovery:
+            return
+        if self._cwnd < self.ssthresh:
+            self._slow_start(acked)
+        else:
+            self._congestion_avoidance(event.now, acked, event.rtt)
+
+    def _hystart_check(self, now: float, rtt: float) -> None:
+        """HyStart delay-increase detection, evaluated on per-round minimum RTT.
+
+        Using the round's *minimum* RTT over at least ``hystart_min_samples``
+        samples makes the exit robust to delayed-ACK jitter, mirroring the
+        Linux/NS3 implementations.
+        """
+        if self._min_rtt == float("inf"):
+            return
+        if now >= self._round_end_time:
+            # Start a new measurement round lasting roughly one smoothed RTT.
+            self._round_end_time = now + max(self._min_rtt, 1e-3)
+            self._round_min_rtt = rtt
+            self._round_samples = 1
+            return
+        self._round_min_rtt = min(self._round_min_rtt, rtt)
+        self._round_samples += 1
+        if self._round_samples < self.hystart_min_samples:
+            return
+        threshold = min(
+            max(self._min_rtt / 8.0, self.hystart_min_delay_increase),
+            self.hystart_max_delay_increase,
+        )
+        if self._round_min_rtt >= self._min_rtt + threshold:
+            self.ssthresh = min(self.ssthresh, max(self._cwnd, 2.0))
+            self.hystart_exits += 1
+
+    def _slow_start(self, acked: float) -> None:
+        before = self._cwnd
+        if self.ns3_slow_start_bug:
+            # NS3 bug: the newly acknowledged segment count is added wholesale,
+            # with no clamp at ssthresh.  A large cumulative ACK after an RTO
+            # therefore opens the window far past ssthresh in one step.
+            self._cwnd += acked
+        else:
+            growth = min(acked, max(0.0, self.ssthresh - self._cwnd))
+            self._cwnd += growth
+            leftover = acked - growth
+            if leftover > 0:
+                self._cwnd += leftover / self._cwnd
+        self.max_slow_start_jump = max(self.max_slow_start_jump, self._cwnd - before)
+
+    def _congestion_avoidance(self, now: float, acked: float, rtt) -> None:
+        if self._epoch_start < 0:
+            self._epoch_start = now
+            if self._cwnd < self.w_max:
+                self._k = ((self.w_max - self._cwnd) / self.C) ** (1.0 / 3.0)
+                self._origin_point = self.w_max
+            else:
+                self._k = 0.0
+                self._origin_point = self._cwnd
+            self._w_tcp = self._cwnd
+        rtt_value = rtt if rtt else 0.04
+        t = now - self._epoch_start + rtt_value
+        target = self._origin_point + self.C * (t - self._k) ** 3
+        if target > self._cwnd:
+            # Approach the cubic target within roughly one RTT, never
+            # overshooting it on a single (possibly very large) ACK.
+            growth = (target - self._cwnd) / max(self._cwnd, 1.0) * acked
+            self._cwnd += min(growth, target - self._cwnd)
+        # TCP-friendly region (RFC 8312 section 4.2): never grow slower than an
+        # AIMD flow with the same beta would.  The estimate is time-based, so a
+        # single large cumulative ACK cannot inflate it.
+        elapsed_rtts = t / max(rtt_value, 1e-3)
+        w_est = self._w_tcp + 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * elapsed_rtts
+        if w_est > self._cwnd:
+            self._cwnd = w_est
+
+    # ------------------------------------------------------------------ #
+    # Loss handling
+    # ------------------------------------------------------------------ #
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        self.loss_events += 1
+        self._register_loss(max(float(in_flight), self._cwnd))
+        self._cwnd = max(self.ssthresh, self.min_cwnd)
+        self._in_recovery = True
+        self._exited_via_rto = False
+
+    def on_recovery_exit(self, now: float) -> None:
+        self._in_recovery = False
+        if self._exited_via_rto:
+            # After an RTO the connection is in slow start from a one-segment
+            # window (NS3/Linux behaviour); the window is *not* restored, which
+            # is precisely why the first post-RTO cumulative ACK can be huge
+            # when it reaches the slow-start increase function (section 4.2).
+            self._exited_via_rto = False
+            return
+        self._cwnd = max(self.ssthresh, self.min_cwnd)
+
+    def on_rto(self, now: float, in_flight: int) -> None:
+        self.rto_events += 1
+        self._register_loss(max(float(in_flight), self._cwnd))
+        self._cwnd = self.min_cwnd
+        self._in_recovery = False
+        self._exited_via_rto = True
+
+    def _register_loss(self, window_at_loss: float) -> None:
+        if self.fast_convergence and window_at_loss < self.w_max:
+            self.w_max = window_at_loss * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_max = window_at_loss
+        self.ssthresh = max(window_at_loss * self.BETA, 2.0)
+        self._epoch_start = -1.0
+
+    # ------------------------------------------------------------------ #
+    # Control outputs
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cwnd(self) -> float:
+        return max(self._cwnd, self.min_cwnd)
+
+    def diagnostics(self) -> Dict[str, Any]:
+        return {
+            "ssthresh": self.ssthresh,
+            "w_max": self.w_max,
+            "loss_events": self.loss_events,
+            "rto_events": self.rto_events,
+            "max_slow_start_jump": self.max_slow_start_jump,
+            "ns3_slow_start_bug": self.ns3_slow_start_bug,
+            "hystart_exits": self.hystart_exits,
+        }

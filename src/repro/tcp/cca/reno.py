@@ -1,0 +1,95 @@
+"""TCP (New)Reno congestion control.
+
+Classic AIMD loss-based congestion control: slow start, congestion avoidance,
+fast-recovery window halving and a collapse to one segment on RTO.  Reno is
+the target of the low-rate ("shrew") attack rediscovery in section 4.3: the
+1-second minimum RTO and exponential backoff mean that a short, periodic
+burst of cross traffic which always hits the retransmission keeps Reno
+pinned at a window of one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .base import AckEvent, CongestionControl
+
+
+class Reno(CongestionControl):
+    """NewReno-style AIMD congestion control."""
+
+    name = "reno"
+
+    def __init__(
+        self,
+        initial_cwnd: float = 10.0,
+        initial_ssthresh: float = float("inf"),
+        min_cwnd: float = 1.0,
+        loss_reduction: float = 0.5,
+    ) -> None:
+        super().__init__()
+        self._cwnd = float(initial_cwnd)
+        self.ssthresh = float(initial_ssthresh)
+        self.min_cwnd = float(min_cwnd)
+        self.loss_reduction = float(loss_reduction)
+        self._in_recovery = False
+        self._exited_via_rto = False
+        self.loss_events = 0
+        self.rto_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Event handling
+    # ------------------------------------------------------------------ #
+
+    def on_ack(self, event: AckEvent) -> None:
+        acked = float(event.newly_acked)
+        if acked <= 0 or self._in_recovery:
+            return
+        if self._cwnd < self.ssthresh:
+            # Slow start: one segment of growth per segment acknowledged,
+            # clamped at ssthresh (the clamp CUBIC-in-NS3 forgets, see cubic.py).
+            slow_start_growth = min(acked, self.ssthresh - self._cwnd)
+            self._cwnd += slow_start_growth
+            acked -= slow_start_growth
+        if acked > 0:
+            # Congestion avoidance: roughly one segment per RTT.
+            self._cwnd += acked / self._cwnd
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        self.loss_events += 1
+        self.ssthresh = max(in_flight * self.loss_reduction, 2.0)
+        self._cwnd = max(self.ssthresh, self.min_cwnd)
+        self._in_recovery = True
+        self._exited_via_rto = False
+
+    def on_recovery_exit(self, now: float) -> None:
+        self._in_recovery = False
+        if self._exited_via_rto:
+            # Post-RTO the connection stays in slow start from its current
+            # (small) window; only a fast-recovery exit restores ssthresh.
+            self._exited_via_rto = False
+            return
+        self._cwnd = max(self.ssthresh, self.min_cwnd)
+
+    def on_rto(self, now: float, in_flight: int) -> None:
+        self.rto_events += 1
+        self.ssthresh = max(in_flight * self.loss_reduction, 2.0)
+        self._cwnd = self.min_cwnd
+        self._in_recovery = False
+        self._exited_via_rto = True
+
+    # ------------------------------------------------------------------ #
+    # Control outputs
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cwnd(self) -> float:
+        return max(self._cwnd, self.min_cwnd)
+
+    def diagnostics(self) -> Dict[str, Any]:
+        return {
+            "ssthresh": self.ssthresh,
+            "loss_events": self.loss_events,
+            "rto_events": self.rto_events,
+            "in_recovery": self._in_recovery,
+        }

@@ -1,0 +1,165 @@
+"""TCP receiver with cumulative ACKs, SACK generation and delayed ACKs.
+
+The receiver mirrors the Linux defaults the paper enables (section 4):
+TCP-SACK and delayed ACKs.  Delayed ACKs matter twice over in the paper's
+findings: they lengthen the ACK-side rate-sample interval, which deepens
+BBR's bandwidth-estimate collapse, and they shape the feedback loop that
+keeps a stalled BBR stalled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..netsim.engine import EventHandle, EventScheduler
+from ..netsim.packet import AckPacket, Packet, SackBlock
+
+AckSendCallback = Callable[[AckPacket], None]
+
+
+class TcpReceiver:
+    """Receives data segments and emits (possibly delayed) ACKs.
+
+    Parameters
+    ----------
+    scheduler:
+        The simulation event scheduler.
+    send_ack:
+        Callback used to hand a generated :class:`AckPacket` to the return
+        path.
+    delayed_ack:
+        Enable the delayed-ACK algorithm (ACK every second segment, or after
+        ``delack_timeout`` if only one segment is pending).
+    delack_timeout:
+        Delayed-ACK timer, 40 ms by default (the common Linux value).
+    max_sack_blocks:
+        Number of SACK blocks reported per ACK (3, as in practice with
+        timestamps enabled).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        send_ack: AckSendCallback,
+        delayed_ack: bool = True,
+        delack_timeout: float = 0.040,
+        max_sack_blocks: int = 3,
+    ) -> None:
+        self.scheduler = scheduler
+        self.send_ack = send_ack
+        self.delayed_ack = delayed_ack
+        self.delack_timeout = delack_timeout
+        self.max_sack_blocks = max_sack_blocks
+
+        self.rcv_next = 0
+        self._out_of_order: Set[int] = set()
+        self._recent_blocks: List[SackBlock] = []
+        self._pending_segments = 0
+        self._delack_handle: Optional[EventHandle] = None
+
+        self.segments_received = 0
+        self.acks_sent = 0
+        self.duplicate_segments = 0
+
+    # ------------------------------------------------------------------ #
+    # Data path
+    # ------------------------------------------------------------------ #
+
+    def on_segment(self, packet: Packet) -> None:
+        """Process an arriving data segment."""
+        now = self.scheduler.now
+        seq = packet.seq
+        self.segments_received += 1
+
+        if seq < self.rcv_next or seq in self._out_of_order:
+            # Duplicate (e.g. a spurious retransmission): ACK immediately so
+            # the sender learns its state is stale.
+            self.duplicate_segments += 1
+            self._emit_ack(now)
+            return
+
+        if seq == self.rcv_next:
+            self.rcv_next += 1
+            # Pull any buffered contiguous segments across.
+            while self.rcv_next in self._out_of_order:
+                self._out_of_order.discard(self.rcv_next)
+                self.rcv_next += 1
+            self._prune_sack_blocks()
+            self._pending_segments += 1
+            if not self.delayed_ack or self._pending_segments >= 2 or self._out_of_order:
+                self._emit_ack(now)
+            else:
+                self._arm_delack(now)
+            return
+
+        # Out-of-order arrival: buffer, record the SACK block, ACK at once.
+        self._out_of_order.add(seq)
+        self._record_sack_block(seq)
+        self._emit_ack(now)
+
+    # ------------------------------------------------------------------ #
+    # ACK generation
+    # ------------------------------------------------------------------ #
+
+    def _emit_ack(self, now: float) -> None:
+        if self._delack_handle is not None:
+            self._delack_handle.cancel()
+            self._delack_handle = None
+        ack = AckPacket(
+            cumulative_ack=self.rcv_next,
+            sack_blocks=tuple(self._recent_blocks[: self.max_sack_blocks]),
+            ack_count=max(1, self._pending_segments),
+            sent_time=now,
+        )
+        self._pending_segments = 0
+        self.acks_sent += 1
+        self.send_ack(ack)
+
+    def _arm_delack(self, now: float) -> None:
+        if self._delack_handle is not None:
+            return
+        self._delack_handle = self.scheduler.schedule(self.delack_timeout, self._delack_fire)
+
+    def _delack_fire(self) -> None:
+        self._delack_handle = None
+        if self._pending_segments > 0:
+            self._emit_ack(self.scheduler.now)
+
+    # ------------------------------------------------------------------ #
+    # SACK block maintenance
+    # ------------------------------------------------------------------ #
+
+    def _record_sack_block(self, seq: int) -> None:
+        """Insert/extend the SACK block containing ``seq`` (most recent first)."""
+        merged_start, merged_end = seq, seq + 1
+        remaining: List[SackBlock] = []
+        for block in self._recent_blocks:
+            if block.end >= merged_start and block.start <= merged_end:
+                merged_start = min(merged_start, block.start)
+                merged_end = max(merged_end, block.end)
+            else:
+                remaining.append(block)
+        self._recent_blocks = [SackBlock(merged_start, merged_end)] + remaining
+
+    def _prune_sack_blocks(self) -> None:
+        """Drop SACK blocks fully covered by the cumulative ACK."""
+        pruned: List[SackBlock] = []
+        for block in self._recent_blocks:
+            if block.end <= self.rcv_next:
+                continue
+            start = max(block.start, self.rcv_next)
+            if start < block.end:
+                pruned.append(SackBlock(start, block.end))
+        self._recent_blocks = pruned
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by tests)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def out_of_order_segments(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._out_of_order))
+
+    @property
+    def sack_blocks(self) -> Tuple[SackBlock, ...]:
+        return tuple(self._recent_blocks)

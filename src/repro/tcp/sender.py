@@ -1,0 +1,307 @@
+"""Bulk-transfer TCP sender.
+
+The sender models the parts of a Linux-like TCP stack that the paper's
+findings depend on:
+
+* a SACK scoreboard with RFC 6675-style loss detection and fast retransmit,
+* an RFC 6298 retransmission timer with a configurable 1-second minimum RTO
+  and exponential backoff,
+* Linux-style marking of *all* outstanding un-SACKed segments as lost on an
+  RTO, which is what produces spurious retransmissions when SACKs for the
+  original transmissions are still in flight (paper section 4.1, Fig. 4c),
+* per-transmission rate-sampling stamps that are overwritten on
+  retransmission — the exact bookkeeping that corrupts BBR's probe-round
+  clocking and bandwidth samples,
+* optional pacing, driven by the congestion-control algorithm.
+
+The application is an infinite bulk transfer (the paper's single long flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..netsim.engine import EventHandle, EventScheduler
+from ..netsim.packet import AckPacket, CCA_FLOW, DEFAULT_MSS, Packet
+from .cca.base import AckEvent, CongestionControl
+from .rate_sampler import DeliveryRateEstimator, RateSample
+from .rto import RttEstimator
+from .sack import SackScoreboard
+
+TransmitCallback = Callable[[Packet], None]
+
+
+@dataclass
+class SenderStats:
+    """Aggregate counters and time series exposed after a run."""
+
+    segments_sent: int = 0              #: total transmissions, including retransmissions
+    data_segments_sent: int = 0         #: distinct data segments transmitted at least once
+    retransmissions: int = 0
+    spurious_retransmissions: int = 0
+    rto_count: int = 0
+    fast_retransmit_entries: int = 0
+    delivered: int = 0
+    cwnd_series: List[Tuple[float, float]] = field(default_factory=list)
+    pacing_series: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    rtt_series: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class TcpSender:
+    """Event-driven TCP sender bound to a congestion-control algorithm."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        cca: CongestionControl,
+        transmit: TransmitCallback,
+        mss_bytes: int = DEFAULT_MSS,
+        min_rto: float = 1.0,
+        max_segments: Optional[int] = None,
+        start_time: float = 0.0,
+        record_series: bool = True,
+        redetect_lost_retransmissions: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.cca = cca
+        self.transmit = transmit
+        self.mss_bytes = mss_bytes
+        self.max_segments = max_segments
+        self.start_time = start_time
+        self.record_series = record_series
+
+        self.scoreboard = SackScoreboard(
+            redetect_lost_retransmissions=redetect_lost_retransmissions
+        )
+        self.rtt_estimator = RttEstimator(min_rto=min_rto)
+        self.rate_estimator = DeliveryRateEstimator()
+        self.stats = SenderStats()
+
+        self.next_seq = 0
+        self.in_recovery = False
+        self.in_rto_recovery = False
+        self.recovery_point = 0
+
+        self._rto_handle: Optional[EventHandle] = None
+        self._pacing_handle: Optional[EventHandle] = None
+        self._next_send_time = 0.0
+        self._started = False
+        self._last_purge = 0
+
+        cca.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Schedule the start of the bulk transfer."""
+        if self._started:
+            raise RuntimeError("sender already started")
+        self._started = True
+        self.scheduler.schedule_at(max(self.start_time, self.scheduler.now), self._on_start)
+
+    def on_ack(self, ack: AckPacket) -> None:
+        """Process an ACK arriving from the return path."""
+        now = self.scheduler.now
+
+        newly_sacked_states = self.scoreboard.apply_sack_blocks(ack.sack_blocks, now=now)
+        newly_acked_states, newly_full_acked_states = self.scoreboard.apply_cumulative_ack(
+            ack.cumulative_ack
+        )
+        newly_delivered_states = newly_acked_states + newly_sacked_states
+        newly_delivered = len(newly_delivered_states)
+
+        rate_sample = self._build_rate_sample(now, newly_delivered_states)
+        rtt = self._update_rtt(now, newly_delivered_states)
+
+        newly_lost = self.scoreboard.detect_losses()
+        if newly_lost and not self.in_recovery and not self.in_rto_recovery:
+            self.in_recovery = True
+            self.recovery_point = self.next_seq
+            self.stats.fast_retransmit_entries += 1
+            self.cca.on_loss(now, self.scoreboard.pipe())
+
+        if (self.in_recovery or self.in_rto_recovery) and self.scoreboard.snd_una >= self.recovery_point:
+            self.in_recovery = False
+            self.in_rto_recovery = False
+            self.cca.on_recovery_exit(now)
+
+        if newly_full_acked_states:
+            # RFC 6298 section 5.3: restart the timer only when the ACK
+            # acknowledges new cumulative data.  SACK-only ACKs must not push
+            # the timer back, otherwise a lost retransmission would never time
+            # out while later data keeps getting SACKed.
+            self._rearm_rto(now)
+
+        self.stats.delivered = self.rate_estimator.delivered
+        self.stats.spurious_retransmissions = self.scoreboard.spurious_retransmissions
+        # Bound scoreboard memory on long transfers: fully acknowledged
+        # segments far below snd_una are never consulted again.
+        if self.scoreboard.snd_una - self._last_purge > 2048:
+            self.scoreboard.purge_acked(keep_below=256)
+            self._last_purge = self.scoreboard.snd_una
+
+        event = AckEvent(
+            now=now,
+            newly_acked=len(newly_full_acked_states),
+            newly_sacked=len(newly_sacked_states),
+            newly_delivered=newly_delivered,
+            cumulative_ack=ack.cumulative_ack,
+            delivered=self.rate_estimator.delivered,
+            in_flight=self.scoreboard.pipe(),
+            rate_sample=rate_sample,
+            rtt=rtt,
+            in_recovery=self.in_recovery,
+            in_rto_recovery=self.in_rto_recovery,
+        )
+        self.cca.on_ack(event)
+        self._record_series(now)
+        self._try_send()
+
+    # ------------------------------------------------------------------ #
+    # Rate sampling / RTT
+    # ------------------------------------------------------------------ #
+
+    def _build_rate_sample(self, now: float, delivered_states) -> Optional[RateSample]:
+        if not delivered_states:
+            return None
+        # Linux uses the most recently transmitted of the newly delivered
+        # segments as the sample anchor (tcp_rate_skb_delivered keeps the skb
+        # with the largest prior_delivered).
+        anchor = max(
+            (s for s in delivered_states if s.tx_state is not None),
+            key=lambda s: (s.tx_state.prior_delivered, s.tx_state.sent_time),
+            default=None,
+        )
+        if anchor is None or anchor.tx_state is None:
+            return None
+        return self.rate_estimator.on_segment_delivered(now, anchor.tx_state, len(delivered_states))
+
+    def _update_rtt(self, now: float, delivered_states) -> Optional[float]:
+        # Karn's rule: only never-retransmitted segments yield RTT samples.
+        candidates = [
+            s for s in delivered_states if s.transmissions == 1 and s.last_sent_time is not None
+        ]
+        if not candidates:
+            return None
+        latest = max(candidates, key=lambda s: s.last_sent_time)
+        rtt = max(1e-9, now - latest.last_sent_time)
+        self.rtt_estimator.update(rtt)
+        if self.record_series:
+            self.stats.rtt_series.append((now, rtt))
+        return rtt
+
+    # ------------------------------------------------------------------ #
+    # Transmission path
+    # ------------------------------------------------------------------ #
+
+    def _on_start(self) -> None:
+        self._next_send_time = self.scheduler.now
+        self._try_send()
+
+    def _effective_cwnd(self) -> int:
+        return max(1, int(self.cca.cwnd))
+
+    def _try_send(self) -> None:
+        now = self.scheduler.now
+        while True:
+            pacing_rate = self.cca.pacing_rate
+            if pacing_rate is not None and pacing_rate > 0 and now < self._next_send_time - 1e-12:
+                self._arm_pacing_timer()
+                return
+            if self.scoreboard.pipe() >= self._effective_cwnd():
+                return
+            seq = self.scoreboard.next_lost_segment()
+            is_retransmit = seq is not None
+            if seq is None:
+                if self.max_segments is not None and self.next_seq >= self.max_segments:
+                    return
+                seq = self.next_seq
+                self.next_seq += 1
+                self.stats.data_segments_sent += 1
+            self._send_segment(seq, is_retransmit, now)
+            if pacing_rate is not None and pacing_rate > 0:
+                self._next_send_time = max(now, self._next_send_time) + 1.0 / pacing_rate
+
+    def _send_segment(self, seq: int, is_retransmit: bool, now: float) -> None:
+        pipe_before = self.scoreboard.pipe()
+        tx_state = self.rate_estimator.on_segment_sent(now, pipe_before, is_retransmit)
+        self.scoreboard.on_transmit(seq, now, tx_state)
+        self.stats.segments_sent += 1
+        if is_retransmit:
+            self.stats.retransmissions += 1
+        packet = Packet(
+            flow=CCA_FLOW,
+            seq=seq,
+            size_bytes=self.mss_bytes,
+            is_retransmit=is_retransmit,
+            sent_time=now,
+        )
+        if self._rto_handle is None:
+            self._rearm_rto(now)
+        self.transmit(packet)
+
+    def _arm_pacing_timer(self) -> None:
+        if self._pacing_handle is not None and not self._pacing_handle.cancelled:
+            return
+        delay = max(0.0, self._next_send_time - self.scheduler.now)
+        self._pacing_handle = self.scheduler.schedule(delay, self._pacing_fire)
+
+    def _pacing_fire(self) -> None:
+        self._pacing_handle = None
+        self._try_send()
+
+    # ------------------------------------------------------------------ #
+    # RTO handling
+    # ------------------------------------------------------------------ #
+
+    def _rearm_rto(self, now: float) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+        if not self.scoreboard.has_unacked_data():
+            return
+        self._rto_handle = self.scheduler.schedule(self.rtt_estimator.rto, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_handle = None
+        now = self.scheduler.now
+        if not self.scoreboard.has_unacked_data():
+            return
+        self.stats.rto_count += 1
+        self.rtt_estimator.on_timeout()
+        pipe_before_loss = self.scoreboard.pipe()
+        # Linux tcp_enter_loss(): every outstanding, un-SACKed segment is
+        # presumed lost.  The SACKs for some of those segments may still be
+        # in flight — retransmitting them anyway is what creates the
+        # spurious retransmissions at the heart of the BBR finding.
+        self.scoreboard.mark_all_outstanding_lost()
+        self.in_recovery = False
+        self.in_rto_recovery = True
+        self.recovery_point = self.next_seq
+        self.cca.on_rto(now, pipe_before_loss)
+        self._record_series(now)
+        self._rearm_rto(now)
+        # Pacing must not delay the first retransmission past the timeout.
+        self._next_send_time = min(self._next_send_time, now)
+        self._try_send()
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _record_series(self, now: float) -> None:
+        if not self.record_series:
+            return
+        self.stats.cwnd_series.append((now, float(self.cca.cwnd)))
+        self.stats.pacing_series.append((now, self.cca.pacing_rate))
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.rate_estimator.delivered * self.mss_bytes
+
+    @property
+    def smoothed_rtt(self) -> Optional[float]:
+        return self.rtt_estimator.srtt

@@ -1,0 +1,124 @@
+"""The DIST_PACKETS recursive packet-distribution algorithm (paper Fig. 2).
+
+DIST_PACKETS spreads ``num`` packet timestamps over ``[start, end]`` by
+recursively splitting the interval and the packet count in two.  At every
+split the average rate of each half must stay within a multiplicative band of
+the parent's average rate (0.5x - 2x in the paper), which bounds long-term
+bandwidth variation.  Once the interval length drops below ``k_agg`` the
+bound checks are relaxed, allowing arbitrary short-term burstiness that
+models aggregation and jitter.
+
+Traffic-fuzzing mode drops the rate constraints entirely (section 3.3),
+which is obtained by passing ``rate_bound=None``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+#: Default aggregation threshold below which rate bounds are not enforced (50 ms).
+DEFAULT_K_AGG = 0.05
+
+#: Default multiplicative rate bound (each half must stay within [rate/2, rate*2]).
+DEFAULT_RATE_BOUND = 2.0
+
+#: Give up searching for a constrained split after this many attempts and fall
+#: back to an even split; keeps the algorithm total despite unlucky sampling.
+_MAX_SPLIT_ATTEMPTS = 256
+
+
+def dist_packets(
+    num: int,
+    start: float,
+    end: float,
+    rng: random.Random,
+    k_agg: float = DEFAULT_K_AGG,
+    rate_bound: Optional[float] = DEFAULT_RATE_BOUND,
+) -> List[float]:
+    """Distribute ``num`` packet timestamps over ``[start, end]``.
+
+    Parameters
+    ----------
+    num:
+        Number of packets to place.
+    start, end:
+        Interval bounds in seconds.
+    rng:
+        Random source (deterministic given a seed, as the GA requires).
+    k_agg:
+        Aggregation threshold: intervals shorter than this are split without
+        rate constraints.
+    rate_bound:
+        Multiplicative local-rate bound; ``None`` disables the constraint
+        entirely (traffic-fuzzing mode).
+
+    Returns
+    -------
+    list of float
+        Sorted packet timestamps.
+    """
+    if num < 0:
+        raise ValueError("num must be non-negative")
+    if end < start:
+        raise ValueError(f"invalid interval [{start}, {end}]")
+    if rate_bound is not None and rate_bound <= 1.0:
+        raise ValueError("rate_bound must exceed 1.0 (or be None to disable)")
+
+    result: List[float] = []
+    # Explicit work stack instead of recursion: adversarially unbalanced splits
+    # could otherwise exceed Python's recursion limit for large packet counts.
+    stack: List[tuple] = [(num, start, end)]
+    while stack:
+        n, lo, hi = stack.pop()
+        if n == 0:
+            continue
+        if n == 1:
+            result.append((lo + hi) / 2.0)
+            continue
+        span = hi - lo
+        if span <= 0:
+            # Degenerate interval: all packets land on the same instant.
+            result.extend([lo] * n)
+            continue
+        t_split, n_left = _choose_split(n, lo, hi, rng, k_agg, rate_bound)
+        # Push the right half first so the left half is processed next,
+        # which keeps the output naturally close to sorted.
+        stack.append((n - n_left, t_split, hi))
+        stack.append((n_left, lo, t_split))
+    result.sort()
+    return result
+
+
+def _choose_split(
+    num: int,
+    start: float,
+    end: float,
+    rng: random.Random,
+    k_agg: float,
+    rate_bound: Optional[float],
+) -> tuple:
+    """Pick a split time and left-half packet count honouring the rate bound."""
+    span = end - start
+    rate = num / span
+    relaxed = span < k_agg or rate_bound is None
+    for _ in range(_MAX_SPLIT_ATTEMPTS):
+        t_split = rng.uniform(start, end)
+        n_left = rng.randint(0, num)
+        if relaxed:
+            if start < t_split < end:
+                return t_split, n_left
+            continue
+        left_span = t_split - start
+        right_span = end - t_split
+        if left_span <= 0 or right_span <= 0:
+            continue
+        left_rate = n_left / left_span
+        right_rate = (num - n_left) / right_span
+        if left_rate > rate_bound * rate or right_rate > rate_bound * rate:
+            continue
+        if left_rate < rate / rate_bound or right_rate < rate / rate_bound:
+            continue
+        return t_split, n_left
+    # Fallback: an even split always satisfies the constraints.
+    return start + span / 2.0, num // 2

@@ -1,0 +1,212 @@
+"""Trace types: sequences of packet timestamps.
+
+CC-Fuzz represents both bottleneck service curves and cross-traffic patterns
+as a sequence of packet-level timestamps over a fixed duration (the MahiMahi
+representation, section 3.2).  :class:`LinkTrace` holds transmission
+opportunities; :class:`TrafficTrace` holds cross-traffic injection times.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def _normalise_timestamps(timestamps: Iterable[float], duration: float) -> List[float]:
+    """Sort and clamp timestamps to ``[0, duration]``."""
+    cleaned = sorted(min(max(float(t), 0.0), duration) for t in timestamps)
+    return cleaned
+
+
+@dataclass
+class PacketTrace:
+    """A sorted sequence of packet timestamps over ``[0, duration]`` seconds."""
+
+    timestamps: List[float]
+    duration: float
+    mss_bytes: int = 1500
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("trace duration must be positive")
+        self.timestamps = _normalise_timestamps(self.timestamps, self.duration)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.timestamps)
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def average_rate_pps(self) -> float:
+        return self.packet_count / self.duration
+
+    @property
+    def average_rate_mbps(self) -> float:
+        return self.average_rate_pps * self.mss_bytes * 8.0 / 1e6
+
+    def copy(self) -> "PacketTrace":
+        return type(self)(
+            timestamps=list(self.timestamps),
+            duration=self.duration,
+            mss_bytes=self.mss_bytes,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived series
+    # ------------------------------------------------------------------ #
+
+    def packets_in_interval(self, start: float, end: float) -> int:
+        """Number of packets with timestamps in ``[start, end)``."""
+        lo = bisect.bisect_left(self.timestamps, start)
+        hi = bisect.bisect_left(self.timestamps, end)
+        return hi - lo
+
+    def windowed_counts(self, window: float) -> List[Tuple[float, int]]:
+        """Packet counts over consecutive windows (``(window_start, count)``)."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        out: List[Tuple[float, int]] = []
+        start = 0.0
+        while start < self.duration:
+            end = min(start + window, self.duration)
+            out.append((start, self.packets_in_interval(start, end)))
+            start += window
+        return out
+
+    def windowed_rates_mbps(self, window: float) -> List[Tuple[float, float]]:
+        """Windowed rate series in Mbps."""
+        return [
+            (start, count * self.mss_bytes * 8.0 / window / 1e6)
+            for start, count in self.windowed_counts(window)
+        ]
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """(timestamp, cumulative packet count) pairs — the paper's Fig. 3 axes."""
+        return [(t, i + 1) for i, t in enumerate(self.timestamps)]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": type(self).__name__,
+            "duration": self.duration,
+            "mss_bytes": self.mss_bytes,
+            "timestamps": list(self.timestamps),
+            "metadata": dict(self.metadata),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PacketTrace":
+        trace_type = payload.get("type", cls.__name__)
+        target_cls = _TRACE_TYPES.get(str(trace_type), cls)
+        if target_cls.from_dict.__func__ is not PacketTrace.from_dict.__func__ and target_cls is not cls:
+            return target_cls.from_dict(payload)
+        return target_cls(
+            timestamps=list(payload["timestamps"]),  # type: ignore[arg-type]
+            duration=float(payload["duration"]),  # type: ignore[arg-type]
+            mss_bytes=int(payload.get("mss_bytes", 1500)),  # type: ignore[arg-type]
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PacketTrace":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n={self.packet_count}, duration={self.duration}s, "
+            f"avg={self.average_rate_mbps:.2f} Mbps)"
+        )
+
+
+class LinkTrace(PacketTrace):
+    """Bottleneck service curve: one transmission opportunity per timestamp.
+
+    Link-fuzzing invariant (section 3.2): the total number of opportunities —
+    and therefore the average bandwidth — is fixed across the whole genetic
+    search, so mutations must preserve ``packet_count``.
+    """
+
+
+class TrafficTrace(PacketTrace):
+    """Cross-traffic injection times.
+
+    Traffic-fuzzing traces have a *variable* number of packets up to
+    ``max_packets`` (section 3.3); the trace score then pushes the search
+    toward minimal injection vectors.
+    """
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        duration: float,
+        mss_bytes: int = 1500,
+        metadata: Optional[Dict[str, object]] = None,
+        max_packets: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            timestamps=list(timestamps),
+            duration=duration,
+            mss_bytes=mss_bytes,
+            metadata=dict(metadata or {}),
+        )
+        self.max_packets = max_packets if max_packets is not None else len(self.timestamps)
+        if self.packet_count > self.max_packets:
+            raise ValueError(
+                f"traffic trace has {self.packet_count} packets, above the limit {self.max_packets}"
+            )
+
+    def copy(self) -> "TrafficTrace":
+        return TrafficTrace(
+            timestamps=list(self.timestamps),
+            duration=self.duration,
+            mss_bytes=self.mss_bytes,
+            metadata=dict(self.metadata),
+            max_packets=self.max_packets,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = super().to_dict()
+        payload["max_packets"] = self.max_packets
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrafficTrace":
+        return TrafficTrace(
+            timestamps=list(payload["timestamps"]),  # type: ignore[arg-type]
+            duration=float(payload["duration"]),  # type: ignore[arg-type]
+            mss_bytes=int(payload.get("mss_bytes", 1500)),  # type: ignore[arg-type]
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+            max_packets=payload.get("max_packets"),  # type: ignore[arg-type]
+        )
+
+
+class LossTrace(PacketTrace):
+    """Times at which an in-flight packet is randomly dropped.
+
+    This is the loss-fuzzing extension sketched in the paper's future work
+    (section 5); it is implemented here as an additional mode.
+    """
+
+
+_TRACE_TYPES = {
+    "PacketTrace": PacketTrace,
+    "LinkTrace": LinkTrace,
+    "TrafficTrace": TrafficTrace,
+    "LossTrace": LossTrace,
+}

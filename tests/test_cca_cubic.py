@@ -1,0 +1,127 @@
+"""Unit tests for CUBIC, including the NS3 slow-start bug toggle (paper section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tcp.cca.base import AckEvent
+from repro.tcp.cca.cubic import Cubic
+
+
+def ack_event(now: float = 0.0, acked: int = 1, rtt: float = 0.04) -> AckEvent:
+    return AckEvent(
+        now=now,
+        newly_acked=acked,
+        newly_sacked=0,
+        newly_delivered=acked,
+        cumulative_ack=acked,
+        delivered=acked,
+        in_flight=10,
+        rate_sample=None,
+        rtt=rtt,
+        in_recovery=False,
+        in_rto_recovery=False,
+    )
+
+
+class TestSlowStart:
+    def test_exponential_growth_below_ssthresh(self):
+        cubic = Cubic(initial_cwnd=10, hystart=False)
+        cubic.on_ack(ack_event(acked=5))
+        assert cubic.cwnd == pytest.approx(15.0)
+
+    def test_correct_variant_clamps_at_ssthresh(self):
+        """Linux behaviour: a huge cumulative ACK cannot blow past ssthresh."""
+        cubic = Cubic(initial_cwnd=10, initial_ssthresh=20, hystart=False)
+        cubic.on_ack(ack_event(acked=500))
+        # 10 segments of slow start, the remainder contributes only fractional
+        # congestion-avoidance growth.
+        assert cubic.cwnd < 20 + 30
+
+    def test_ns3_bug_variant_ignores_ssthresh_clamp(self):
+        """NS3 bug (section 4.2): the full cumulative jump lands in cwnd."""
+        cubic = Cubic(initial_cwnd=10, initial_ssthresh=20, ns3_slow_start_bug=True, hystart=False)
+        cubic.on_ack(ack_event(acked=500))
+        assert cubic.cwnd == pytest.approx(510.0)
+        assert cubic.max_slow_start_jump == pytest.approx(500.0)
+
+    def test_bug_and_correct_agree_on_small_acks(self):
+        buggy = Cubic(initial_cwnd=10, initial_ssthresh=100, ns3_slow_start_bug=True, hystart=False)
+        correct = Cubic(initial_cwnd=10, initial_ssthresh=100, hystart=False)
+        for _ in range(10):
+            buggy.on_ack(ack_event(acked=2))
+            correct.on_ack(ack_event(acked=2))
+        assert buggy.cwnd == pytest.approx(correct.cwnd)
+
+
+class TestHystart:
+    def test_exit_when_round_min_rtt_rises(self):
+        cubic = Cubic(initial_cwnd=10, hystart=True)
+        # Establish the baseline RTT with a round of low-delay samples.
+        for i in range(10):
+            cubic.on_ack(ack_event(now=0.001 * i, acked=1, rtt=0.040))
+        # Next round: every sample is 30 ms above the minimum.
+        for i in range(10):
+            cubic.on_ack(ack_event(now=0.05 + 0.001 * i, acked=1, rtt=0.070))
+        assert cubic.hystart_exits >= 1
+        assert cubic.ssthresh <= cubic.cwnd
+
+    def test_no_exit_on_isolated_jitter(self):
+        cubic = Cubic(initial_cwnd=10, hystart=True)
+        for i in range(6):
+            cubic.on_ack(ack_event(now=0.001 * i, acked=1, rtt=0.040))
+        # A single inflated sample (e.g. a delayed ACK) must not end slow start.
+        cubic.on_ack(ack_event(now=0.01, acked=1, rtt=0.080))
+        assert cubic.hystart_exits == 0
+
+    def test_disabled_hystart_never_exits(self):
+        cubic = Cubic(initial_cwnd=10, hystart=False)
+        for i in range(50):
+            cubic.on_ack(ack_event(now=0.05 * i, acked=1, rtt=0.040 + 0.002 * i))
+        assert cubic.hystart_exits == 0
+        assert cubic.ssthresh == float("inf")
+
+
+class TestLossResponse:
+    def test_multiplicative_decrease_uses_beta(self):
+        cubic = Cubic(initial_cwnd=100, initial_ssthresh=50, hystart=False)
+        cubic.on_loss(now=1.0, in_flight=100)
+        assert cubic.ssthresh == pytest.approx(70.0)
+        assert cubic.cwnd == pytest.approx(70.0)
+
+    def test_w_max_recorded_at_loss(self):
+        cubic = Cubic(initial_cwnd=100, initial_ssthresh=50, hystart=False)
+        cubic.on_loss(now=1.0, in_flight=100)
+        assert cubic.w_max == pytest.approx(100.0)
+
+    def test_fast_convergence_reduces_w_max_on_consecutive_losses(self):
+        cubic = Cubic(initial_cwnd=100, initial_ssthresh=50, hystart=False)
+        cubic.on_loss(now=1.0, in_flight=100)
+        cubic.on_loss(now=2.0, in_flight=60)
+        assert cubic.w_max < 100.0
+
+    def test_rto_collapses_to_min_cwnd(self):
+        cubic = Cubic(initial_cwnd=100, hystart=False)
+        cubic.on_rto(now=1.0, in_flight=80)
+        assert cubic.cwnd == pytest.approx(1.0)
+
+    def test_growth_after_recovery_follows_cubic_curve(self):
+        cubic = Cubic(initial_cwnd=100, initial_ssthresh=50, hystart=False)
+        cubic.on_loss(now=0.0, in_flight=100)
+        cubic.on_recovery_exit(now=0.1)
+        start = cubic.cwnd
+        for i in range(100):
+            cubic.on_ack(ack_event(now=0.1 + 0.01 * i, acked=1))
+        assert cubic.cwnd > start
+        # The window approaches but does not wildly overshoot the prior w_max
+        # within the first second after the loss.
+        assert cubic.cwnd < 140
+
+
+class TestInterface:
+    def test_no_pacing(self):
+        assert Cubic().pacing_rate is None
+
+    def test_diagnostics_fields(self):
+        diag = Cubic().diagnostics()
+        assert {"ssthresh", "w_max", "max_slow_start_jump", "ns3_slow_start_bug"} <= set(diag)

@@ -1,0 +1,108 @@
+"""Unit tests for the Reno congestion-control algorithm (pure logic, no simulator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tcp.cca.base import AckEvent
+from repro.tcp.cca.reno import Reno
+
+
+def ack_event(now: float = 0.0, acked: int = 1, in_flight: int = 10, rtt: float = 0.04) -> AckEvent:
+    return AckEvent(
+        now=now,
+        newly_acked=acked,
+        newly_sacked=0,
+        newly_delivered=acked,
+        cumulative_ack=acked,
+        delivered=acked,
+        in_flight=in_flight,
+        rate_sample=None,
+        rtt=rtt,
+        in_recovery=False,
+        in_rto_recovery=False,
+    )
+
+
+class TestSlowStart:
+    def test_window_grows_by_acked_segments(self):
+        reno = Reno(initial_cwnd=10)
+        reno.on_ack(ack_event(acked=2))
+        assert reno.cwnd == pytest.approx(12.0)
+
+    def test_window_doubles_per_round_trip(self):
+        reno = Reno(initial_cwnd=10)
+        for _ in range(5):
+            reno.on_ack(ack_event(acked=2))
+        assert reno.cwnd == pytest.approx(20.0)
+
+    def test_growth_clamped_at_ssthresh(self):
+        reno = Reno(initial_cwnd=10, initial_ssthresh=12)
+        reno.on_ack(ack_event(acked=8))
+        # 2 segments of exponential growth, the rest in congestion avoidance.
+        assert reno.cwnd == pytest.approx(12 + 6 / 12)
+
+
+class TestCongestionAvoidance:
+    def test_linear_growth_per_rtt(self):
+        reno = Reno(initial_cwnd=20, initial_ssthresh=10)
+        for _ in range(20):
+            reno.on_ack(ack_event(acked=1))
+        assert reno.cwnd == pytest.approx(21.0, rel=0.02)
+
+
+class TestLossResponse:
+    def test_fast_recovery_halves_window(self):
+        reno = Reno(initial_cwnd=40)
+        reno.on_loss(now=1.0, in_flight=40)
+        assert reno.ssthresh == pytest.approx(20.0)
+        assert reno.cwnd == pytest.approx(20.0)
+
+    def test_no_growth_during_recovery(self):
+        reno = Reno(initial_cwnd=40)
+        reno.on_loss(now=1.0, in_flight=40)
+        cwnd_in_recovery = reno.cwnd
+        reno.on_ack(ack_event(acked=5))
+        assert reno.cwnd == cwnd_in_recovery
+
+    def test_recovery_exit_restores_ssthresh(self):
+        reno = Reno(initial_cwnd=40)
+        reno.on_loss(now=1.0, in_flight=40)
+        reno.on_recovery_exit(now=1.2)
+        assert reno.cwnd == pytest.approx(20.0)
+        reno.on_ack(ack_event(acked=1))
+        assert reno.cwnd > 20.0
+
+    def test_rto_collapses_window_to_one(self):
+        reno = Reno(initial_cwnd=40)
+        reno.on_rto(now=2.0, in_flight=30)
+        assert reno.cwnd == pytest.approx(1.0)
+        assert reno.ssthresh == pytest.approx(15.0)
+
+    def test_ssthresh_floor_of_two(self):
+        reno = Reno(initial_cwnd=4)
+        reno.on_rto(now=2.0, in_flight=1)
+        assert reno.ssthresh == pytest.approx(2.0)
+
+    def test_slow_start_resumes_after_rto(self):
+        reno = Reno(initial_cwnd=40)
+        reno.on_rto(now=2.0, in_flight=40)
+        reno.on_ack(ack_event(acked=1))
+        reno.on_ack(ack_event(acked=2))
+        assert reno.cwnd == pytest.approx(4.0)
+
+    def test_loss_event_counters(self):
+        reno = Reno()
+        reno.on_loss(now=1.0, in_flight=20)
+        reno.on_rto(now=3.0, in_flight=20)
+        diag = reno.diagnostics()
+        assert diag["loss_events"] == 1
+        assert diag["rto_events"] == 1
+
+
+class TestInterface:
+    def test_no_pacing_rate(self):
+        assert Reno().pacing_rate is None
+
+    def test_name(self):
+        assert Reno().name == "reno"

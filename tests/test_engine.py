@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.engine import EventScheduler
+
+
+def test_events_run_in_time_order():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(2.0, fired.append, "late")
+    scheduler.schedule(1.0, fired.append, "early")
+    scheduler.schedule(1.5, fired.append, "middle")
+    scheduler.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_ties_break_by_insertion_order():
+    scheduler = EventScheduler()
+    fired = []
+    for label in ["first", "second", "third"]:
+        scheduler.schedule(1.0, fired.append, label)
+    scheduler.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    scheduler = EventScheduler()
+    seen = []
+    scheduler.schedule(0.5, lambda: seen.append(scheduler.now))
+    scheduler.run()
+    assert seen == [0.5]
+    assert scheduler.now == 0.5
+
+
+def test_run_until_stops_before_later_events():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(1.0, fired.append, "in-horizon")
+    scheduler.schedule(3.0, fired.append, "beyond-horizon")
+    executed = scheduler.run(until=2.0)
+    assert executed == 1
+    assert fired == ["in-horizon"]
+    assert scheduler.now == 2.0
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    scheduler = EventScheduler()
+    scheduler.run(until=5.0)
+    assert scheduler.now == 5.0
+
+
+def test_cancelled_events_are_skipped():
+    scheduler = EventScheduler()
+    fired = []
+    handle = scheduler.schedule(1.0, fired.append, "cancelled")
+    scheduler.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    scheduler.run()
+    assert fired == ["kept"]
+
+
+def test_schedule_in_the_past_raises():
+    scheduler = EventScheduler()
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(ValueError):
+        scheduler.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        scheduler.schedule(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    scheduler = EventScheduler()
+    fired = []
+
+    def chain(step: int) -> None:
+        fired.append(step)
+        if step < 3:
+            scheduler.schedule(0.1, chain, step + 1)
+
+    scheduler.schedule(0.0, chain, 0)
+    scheduler.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_max_events_limits_execution():
+    scheduler = EventScheduler()
+    fired = []
+    for i in range(10):
+        scheduler.schedule(i * 0.1, fired.append, i)
+    scheduler.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_stop_requests_early_return():
+    scheduler = EventScheduler()
+    fired = []
+    scheduler.schedule(0.1, fired.append, "a")
+    scheduler.schedule(0.2, lambda: scheduler.stop())
+    scheduler.schedule(0.3, fired.append, "b")
+    scheduler.run()
+    assert fired == ["a"]
+
+
+def test_peek_time_skips_cancelled():
+    scheduler = EventScheduler()
+    handle = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert scheduler.peek_time() == 2.0
+
+
+def test_pending_events_count():
+    scheduler = EventScheduler()
+    handles = [scheduler.schedule(1.0 + i, lambda: None) for i in range(3)]
+    assert scheduler.pending_events() == 3
+    handles[0].cancel()
+    assert scheduler.pending_events() == 2

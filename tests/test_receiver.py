@@ -1,0 +1,112 @@
+"""Unit tests for the TCP receiver (cumulative ACKs, SACK, delayed ACKs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.engine import EventScheduler
+from repro.netsim.packet import CCA_FLOW, Packet
+from repro.tcp.receiver import TcpReceiver
+
+
+def make_receiver(delayed_ack: bool = True, delack_timeout: float = 0.040):
+    scheduler = EventScheduler()
+    acks = []
+    receiver = TcpReceiver(
+        scheduler, send_ack=acks.append, delayed_ack=delayed_ack, delack_timeout=delack_timeout
+    )
+    return scheduler, receiver, acks
+
+
+def segment(seq: int) -> Packet:
+    return Packet(flow=CCA_FLOW, seq=seq)
+
+
+class TestInOrderDelivery:
+    def test_cumulative_ack_advances(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=False)
+        for seq in range(3):
+            receiver.on_segment(segment(seq))
+        assert acks[-1].cumulative_ack == 3
+        assert receiver.rcv_next == 3
+
+    def test_immediate_ack_per_segment_when_delack_disabled(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=False)
+        for seq in range(4):
+            receiver.on_segment(segment(seq))
+        assert len(acks) == 4
+
+    def test_delayed_ack_coalesces_pairs(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=True)
+        for seq in range(4):
+            receiver.on_segment(segment(seq))
+        # Two ACKs for four segments (one per pair).
+        assert len(acks) == 2
+        assert acks[-1].cumulative_ack == 4
+        assert acks[-1].ack_count == 2
+
+    def test_delack_timer_flushes_single_segment(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=True, delack_timeout=0.04)
+        receiver.on_segment(segment(0))
+        assert acks == []
+        scheduler.run(until=0.1)
+        assert len(acks) == 1
+        assert acks[0].cumulative_ack == 1
+
+
+class TestOutOfOrderDelivery:
+    def test_gap_triggers_immediate_duplicate_ack_with_sack(self):
+        scheduler, receiver, acks = make_receiver()
+        receiver.on_segment(segment(0))
+        receiver.on_segment(segment(1))
+        receiver.on_segment(segment(3))      # hole at 2
+        ack = acks[-1]
+        assert ack.cumulative_ack == 2
+        assert any(3 in block for block in ack.sack_blocks)
+
+    def test_hole_fill_advances_over_buffered_data(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=False)
+        receiver.on_segment(segment(0))
+        receiver.on_segment(segment(2))
+        receiver.on_segment(segment(3))
+        receiver.on_segment(segment(1))      # fills the hole
+        assert acks[-1].cumulative_ack == 4
+        assert receiver.out_of_order_segments == ()
+
+    def test_sack_blocks_merge_adjacent_segments(self):
+        scheduler, receiver, acks = make_receiver()
+        receiver.on_segment(segment(0))
+        for seq in [5, 6, 7]:
+            receiver.on_segment(segment(seq))
+        blocks = acks[-1].sack_blocks
+        assert any(block.start == 5 and block.end == 8 for block in blocks)
+
+    def test_at_most_three_sack_blocks_reported(self):
+        scheduler, receiver, acks = make_receiver()
+        receiver.on_segment(segment(0))
+        for seq in [2, 4, 6, 8, 10]:          # five separate holes above rcv_next
+            receiver.on_segment(segment(seq))
+        assert len(acks[-1].sack_blocks) <= 3
+
+    def test_most_recent_block_listed_first(self):
+        scheduler, receiver, acks = make_receiver()
+        receiver.on_segment(segment(0))
+        receiver.on_segment(segment(3))
+        receiver.on_segment(segment(6))
+        first_block = acks[-1].sack_blocks[0]
+        assert 6 in first_block
+
+    def test_duplicate_segment_triggers_ack(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=False)
+        receiver.on_segment(segment(0))
+        count_before = len(acks)
+        receiver.on_segment(segment(0))
+        assert len(acks) == count_before + 1
+        assert receiver.duplicate_segments == 1
+
+    def test_sack_blocks_pruned_after_cumulative_advance(self):
+        scheduler, receiver, acks = make_receiver(delayed_ack=False)
+        receiver.on_segment(segment(1))      # hole at 0
+        receiver.on_segment(segment(0))      # fill it
+        assert acks[-1].cumulative_ack == 2
+        assert acks[-1].sack_blocks == ()

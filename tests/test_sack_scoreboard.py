@@ -1,0 +1,155 @@
+"""Unit tests for the SACK scoreboard and loss detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.packet import SackBlock
+from repro.tcp.rate_sampler import SegmentTxState
+from repro.tcp.sack import SackScoreboard
+
+
+def tx_state(time: float = 0.0) -> SegmentTxState:
+    return SegmentTxState(
+        sent_time=time, prior_delivered=0, prior_delivered_time=0.0, first_tx_time=0.0
+    )
+
+
+def send_range(board: SackScoreboard, start: int, end: int, time: float = 0.0) -> None:
+    for seq in range(start, end):
+        board.on_transmit(seq, time, tx_state(time))
+
+
+class TestCumulativeAck:
+    def test_advances_snd_una_and_reports_delivered(self):
+        board = SackScoreboard()
+        send_range(board, 0, 5)
+        delivered, full_acked = board.apply_cumulative_ack(3)
+        assert board.snd_una == 3
+        assert [s.seq for s in delivered] == [0, 1, 2]
+        assert [s.seq for s in full_acked] == [0, 1, 2]
+
+    def test_previously_sacked_segments_not_redelivered(self):
+        board = SackScoreboard()
+        send_range(board, 0, 5)
+        board.apply_sack_blocks([SackBlock(1, 3)])
+        delivered, full_acked = board.apply_cumulative_ack(3)
+        assert [s.seq for s in delivered] == [0]
+        assert [s.seq for s in full_acked] == [0, 1, 2]
+
+    def test_stale_ack_is_noop(self):
+        board = SackScoreboard()
+        send_range(board, 0, 3)
+        board.apply_cumulative_ack(2)
+        delivered, full_acked = board.apply_cumulative_ack(1)
+        assert delivered == [] and full_acked == []
+        assert board.snd_una == 2
+
+
+class TestSackProcessing:
+    def test_marks_segments_sacked_once(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        first = board.apply_sack_blocks([SackBlock(4, 7)])
+        second = board.apply_sack_blocks([SackBlock(4, 7)])
+        assert [s.seq for s in first] == [4, 5, 6]
+        assert second == []
+
+    def test_sack_below_snd_una_ignored(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_cumulative_ack(5)
+        assert board.apply_sack_blocks([SackBlock(2, 4)]) == []
+
+    def test_pipe_counts_outstanding_only(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        assert board.pipe() == 10
+        board.apply_sack_blocks([SackBlock(5, 10)])
+        assert board.pipe() == 5
+        board.apply_cumulative_ack(2)
+        assert board.pipe() == 3
+
+
+class TestLossDetection:
+    def test_segment_with_three_sacks_above_is_lost(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(1, 4)])
+        lost = board.detect_losses()
+        assert [s.seq for s in lost] == [0]
+
+    def test_fewer_than_dupthresh_not_lost(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(1, 3)])
+        assert board.detect_losses() == []
+
+    def test_lost_segment_not_remarked_after_retransmission_by_default(self):
+        """NS3/pre-RACK behaviour: a lost retransmission waits for the RTO."""
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(1, 5)])
+        assert [s.seq for s in board.detect_losses()] == [0]
+        board.on_transmit(0, 1.0, tx_state(1.0))        # retransmission
+        board.apply_sack_blocks([SackBlock(5, 9)])       # more SACK evidence
+        assert board.detect_losses() == []
+
+    def test_rack_style_redetection_when_enabled(self):
+        board = SackScoreboard(redetect_lost_retransmissions=True)
+        send_range(board, 0, 10, time=0.0)
+        board.apply_sack_blocks([SackBlock(1, 5)])
+        assert [s.seq for s in board.detect_losses()] == [0]
+        board.on_transmit(0, 1.0, tx_state(1.0))
+        # Segments sent *after* the retransmission get SACKed -> evidence.
+        board.on_transmit(10, 2.0, tx_state(2.0))
+        board.apply_sack_blocks([SackBlock(10, 11)])
+        assert [s.seq for s in board.detect_losses()] == [0]
+
+    def test_rto_marks_all_outstanding_lost(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(4, 6)])
+        lost = board.mark_all_outstanding_lost()
+        assert {s.seq for s in lost} == {0, 1, 2, 3, 6, 7, 8, 9}
+        assert board.pipe() == 0
+
+    def test_next_lost_segment_is_lowest(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(3, 8)])
+        board.detect_losses()
+        assert board.next_lost_segment() == 0
+        board.on_transmit(0, 1.0, tx_state(1.0))
+        assert board.next_lost_segment() in (1, 2)
+
+
+class TestSpuriousRetransmissionAccounting:
+    def test_sack_arriving_after_retransmission_counts_spurious(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(1, 5)])
+        board.detect_losses()
+        board.mark_all_outstanding_lost()
+        board.on_transmit(5, 1.0, tx_state(1.0))                # spurious: original still in flight
+        board.apply_sack_blocks([SackBlock(5, 6)], now=1.005)   # SACK for the original arrives
+        assert board.spurious_retransmissions >= 1
+
+    def test_sack_long_after_retransmission_is_not_spurious(self):
+        board = SackScoreboard()
+        send_range(board, 0, 10)
+        board.apply_sack_blocks([SackBlock(1, 5)], now=0.04)
+        board.detect_losses()
+        board.on_transmit(0, 0.05, tx_state(0.05))
+        # The SACK arrives a full RTT after the retransmission: it plausibly
+        # acknowledges the retransmitted copy itself, so it is not spurious.
+        board.apply_sack_blocks([SackBlock(0, 1)], now=0.10)
+        assert board.spurious_retransmissions == 0
+
+    def test_purge_acked_bounds_memory(self):
+        board = SackScoreboard()
+        send_range(board, 0, 100)
+        board.apply_cumulative_ack(90)
+        board.purge_acked(keep_below=5)
+        assert all(seq >= 85 for seq in board.segments)
+        assert board.has_unacked_data()

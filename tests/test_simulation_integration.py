@@ -1,0 +1,124 @@
+"""End-to-end simulation tests: the dumbbell topology with each CCA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import CCA_FLOW, CROSS_FLOW, SimulationConfig, run_simulation
+from repro.tcp import Bbr, Cubic, Reno
+
+
+class TestCleanLink:
+    @pytest.mark.parametrize("factory", [Reno, Cubic, Bbr], ids=["reno", "cubic", "bbr"])
+    def test_high_utilization_on_clean_link(self, factory):
+        result = run_simulation(factory, SimulationConfig(duration=3.0))
+        assert result.utilization() > 0.85
+        assert result.sender_stats.rto_count <= 1
+
+    def test_delivered_never_exceeds_sent(self):
+        result = run_simulation(Reno, SimulationConfig(duration=2.0))
+        assert result.delivered_segments() <= result.segments_sent()
+
+    def test_throughput_capped_by_link_rate(self):
+        result = run_simulation(Reno, SimulationConfig(duration=2.0, bottleneck_rate_mbps=6.0))
+        assert result.throughput_mbps() <= 6.0 + 1e-6
+
+    def test_deterministic_across_runs(self):
+        first = run_simulation(Reno, SimulationConfig(duration=2.0))
+        second = run_simulation(Reno, SimulationConfig(duration=2.0))
+        assert first.summary() == second.summary()
+
+    def test_queueing_delay_bounded_by_buffer(self):
+        config = SimulationConfig(duration=2.0, queue_capacity=60)
+        result = run_simulation(Reno, config)
+        max_delay = max(d for _, d in result.queueing_delays())
+        # 60 packets at 1000 packets/s plus one service time.
+        assert max_delay <= 0.062
+
+
+class TestTraceDrivenLink:
+    def test_uniform_trace_matches_fixed_link(self):
+        duration = 2.0
+        opportunities = [i * 0.001 for i in range(int(duration * 1000))]
+        trace_result = run_simulation(
+            Reno, SimulationConfig(duration=duration), link_trace=opportunities
+        )
+        fixed_result = run_simulation(Reno, SimulationConfig(duration=duration))
+        assert trace_result.throughput_mbps() == pytest.approx(
+            fixed_result.throughput_mbps(), rel=0.05
+        )
+
+    def test_half_rate_trace_halves_throughput(self):
+        duration = 2.0
+        opportunities = [i * 0.002 for i in range(int(duration * 500))]
+        result = run_simulation(
+            Reno, SimulationConfig(duration=duration), link_trace=opportunities
+        )
+        assert result.throughput_mbps() == pytest.approx(6.0, rel=0.1)
+
+    def test_link_outage_stalls_delivery(self):
+        duration = 2.0
+        opportunities = [i * 0.001 for i in range(1000) if not 0.5 <= i * 0.001 < 1.0]
+        result = run_simulation(
+            Reno, SimulationConfig(duration=duration), link_trace=opportunities
+        )
+        egress = result.monitor.egress_times(CCA_FLOW)
+        assert not any(0.55 < t < 1.0 for t in egress)
+
+
+class TestCrossTraffic:
+    def test_cross_traffic_reduces_flow_throughput(self):
+        config = SimulationConfig(duration=2.0)
+        clean = run_simulation(Reno, config)
+        cross = [0.5 + i * 0.002 for i in range(500)]  # 500 packets over 1 s
+        congested = run_simulation(Reno, config, cross_traffic_times=cross)
+        assert congested.throughput_mbps() < clean.throughput_mbps()
+
+    def test_cross_traffic_accounted_at_sink(self):
+        config = SimulationConfig(duration=2.0)
+        cross = [1.0 + i * 0.01 for i in range(50)]
+        result = run_simulation(Reno, config, cross_traffic_times=cross)
+        assert result.cross_sent == 50
+        assert result.cross_delivered + result.queue_drops.get(CROSS_FLOW, 0) == 50
+
+    def test_saturating_cross_traffic_starves_flow(self):
+        config = SimulationConfig(duration=2.0)
+        cross = [0.2 + i * 0.0008 for i in range(2000)]  # 1250 packets/s > link rate
+        result = run_simulation(Reno, config, cross_traffic_times=cross)
+        assert result.throughput_mbps() < 4.0
+
+
+class TestForcedLosses:
+    def test_loss_times_drop_packets(self):
+        config = SimulationConfig(duration=2.0)
+        result = run_simulation(Reno, config, loss_times=[0.5, 0.7, 0.9])
+        assert result.forced_losses == 3
+        assert result.sender_stats.retransmissions >= 3
+
+    def test_drop_filter_invoked(self):
+        from repro.attacks import TargetedLoss
+
+        config = SimulationConfig(duration=2.0)
+        loss = TargetedLoss([(100, 1)])
+        result = run_simulation(Reno, config, drop_filter=loss)
+        assert loss.drops_performed == 1
+        assert result.forced_losses == 1
+
+
+class TestResultSummaries:
+    def test_summary_fields(self):
+        result = run_simulation(Reno, SimulationConfig(duration=1.0))
+        summary = result.summary()
+        for key in ["cca", "throughput_mbps", "utilization", "retransmissions", "rto_count"]:
+            assert key in summary
+
+    def test_windowed_throughput_covers_duration(self):
+        result = run_simulation(Reno, SimulationConfig(duration=2.0))
+        series = result.windowed_throughput(window=0.5)
+        assert len(series) == 4
+        assert series[0][0] == 0.0
+
+    def test_config_overrides(self):
+        config = SimulationConfig(duration=1.0).with_overrides(queue_capacity=10)
+        assert config.queue_capacity == 10
+        assert config.duration == 1.0

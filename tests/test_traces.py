@@ -1,0 +1,263 @@
+"""Tests for trace containers, generators, mutation, crossover and constraints."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    LinkTrace,
+    LinkTraceGenerator,
+    LossTrace,
+    LossTraceGenerator,
+    PacketTrace,
+    TraceValidationError,
+    TrafficTrace,
+    TrafficTraceGenerator,
+    burstiness_index,
+    check_link_invariants,
+    crossover_traffic_traces,
+    is_valid_trace,
+    longest_silence,
+    max_rate_deviation,
+    mutate_link_trace,
+    mutate_trace,
+    mutate_traffic_trace,
+    validate_trace,
+)
+
+
+class TestPacketTrace:
+    def test_timestamps_sorted_and_clamped_on_construction(self):
+        trace = PacketTrace(timestamps=[4.0, -1.0, 2.0, 99.0], duration=5.0)
+        assert trace.timestamps == [0.0, 2.0, 4.0, 5.0]
+
+    def test_average_rate(self):
+        trace = PacketTrace(timestamps=[0.1 * i for i in range(50)], duration=5.0)
+        assert trace.average_rate_pps == pytest.approx(10.0)
+        assert trace.average_rate_mbps == pytest.approx(10 * 1500 * 8 / 1e6)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrace(timestamps=[], duration=0.0)
+
+    def test_windowed_counts_cover_duration(self):
+        trace = PacketTrace(timestamps=[0.5, 1.5, 1.6, 4.9], duration=5.0)
+        counts = dict(trace.windowed_counts(1.0))
+        assert counts[0.0] == 1
+        assert counts[1.0] == 2
+        assert counts[4.0] == 1
+        assert sum(counts.values()) == 4
+
+    def test_packets_in_interval(self):
+        trace = PacketTrace(timestamps=[1.0, 2.0, 3.0], duration=5.0)
+        assert trace.packets_in_interval(0.5, 2.5) == 2
+
+    def test_cumulative_counts_monotone(self):
+        trace = PacketTrace(timestamps=[0.5, 1.0, 2.0], duration=5.0)
+        counts = trace.cumulative_counts()
+        assert counts == [(0.5, 1), (1.0, 2), (2.0, 3)]
+
+    def test_copy_is_independent(self):
+        trace = PacketTrace(timestamps=[1.0], duration=5.0, metadata={"a": 1})
+        clone = trace.copy()
+        clone.timestamps.append(2.0)
+        clone.metadata["a"] = 2
+        assert trace.timestamps == [1.0]
+        assert trace.metadata["a"] == 1
+
+    def test_json_roundtrip_preserves_type_and_data(self):
+        trace = LinkTrace(timestamps=[0.5, 1.5], duration=5.0)
+        restored = PacketTrace.from_json(trace.to_json())
+        assert isinstance(restored, LinkTrace)
+        assert restored.timestamps == trace.timestamps
+        assert restored.duration == trace.duration
+
+    def test_traffic_trace_json_roundtrip_keeps_budget(self):
+        trace = TrafficTrace(timestamps=[1.0, 2.0], duration=5.0, max_packets=40)
+        restored = PacketTrace.from_json(trace.to_json())
+        assert isinstance(restored, TrafficTrace)
+        assert restored.max_packets == 40
+
+
+class TestTrafficTrace:
+    def test_budget_enforced(self):
+        with pytest.raises(ValueError):
+            TrafficTrace(timestamps=[0.1, 0.2, 0.3], duration=1.0, max_packets=2)
+
+    def test_default_budget_is_packet_count(self):
+        trace = TrafficTrace(timestamps=[0.1, 0.2], duration=1.0)
+        assert trace.max_packets == 2
+
+
+class TestGenerators:
+    def test_link_generator_fixed_packet_budget(self):
+        generator = LinkTraceGenerator(duration=5.0, average_rate_mbps=12.0, seed=3)
+        trace = generator.generate()
+        assert trace.packet_count == 5000
+        assert trace.average_rate_mbps == pytest.approx(12.0)
+
+    def test_link_generator_population_all_same_budget(self):
+        generator = LinkTraceGenerator(duration=2.0, average_rate_mbps=6.0, seed=3)
+        population = generator.generate_population(5)
+        counts = {trace.packet_count for trace in population}
+        assert len(counts) == 1
+
+    def test_link_generator_deterministic_per_seed(self):
+        a = LinkTraceGenerator(duration=2.0, seed=9).generate()
+        b = LinkTraceGenerator(duration=2.0, seed=9).generate()
+        assert a.timestamps == b.timestamps
+
+    def test_traffic_generator_respects_budget(self):
+        generator = TrafficTraceGenerator(duration=5.0, max_packets=100, seed=5)
+        for trace in generator.generate_population(10):
+            assert trace.packet_count <= 100
+            assert trace.max_packets == 100
+
+    def test_traffic_generator_count_varies(self):
+        generator = TrafficTraceGenerator(duration=5.0, max_packets=500, seed=5)
+        counts = {trace.packet_count for trace in generator.generate_population(10)}
+        assert len(counts) > 1
+
+    def test_loss_generator_bounds(self):
+        generator = LossTraceGenerator(duration=5.0, max_losses=7, seed=1)
+        for trace in generator.generate_population(10):
+            assert trace.packet_count <= 7
+            assert all(0 <= t <= 5.0 for t in trace.timestamps)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTraceGenerator(duration=0.0)
+        with pytest.raises(ValueError):
+            TrafficTraceGenerator(duration=5.0, max_packets=0)
+        with pytest.raises(ValueError):
+            TrafficTraceGenerator(duration=5.0, max_packets=5, min_packets=9)
+
+
+class TestMutation:
+    def test_link_mutation_preserves_packet_count(self, rng):
+        trace = LinkTraceGenerator(duration=5.0, seed=1).generate()
+        for _ in range(10):
+            mutated = mutate_link_trace(trace, rng)
+            assert mutated.packet_count == trace.packet_count
+            assert is_valid_trace(mutated)
+            trace = mutated
+
+    def test_link_mutation_changes_trace(self, rng):
+        trace = LinkTraceGenerator(duration=5.0, seed=1).generate()
+        mutated = mutate_link_trace(trace, rng)
+        assert mutated.timestamps != trace.timestamps
+
+    def test_link_invariants_hold_over_many_generations(self, rng):
+        original = LinkTraceGenerator(duration=5.0, seed=2).generate()
+        evolved = original
+        for _ in range(25):
+            evolved = mutate_link_trace(evolved, rng)
+        assert check_link_invariants(original, evolved) == []
+
+    def test_traffic_mutation_respects_budget(self, rng):
+        trace = TrafficTraceGenerator(duration=5.0, max_packets=200, seed=2).generate()
+        for _ in range(20):
+            trace = mutate_traffic_trace(trace, rng)
+            assert trace.packet_count <= trace.max_packets
+            assert is_valid_trace(trace)
+
+    def test_traffic_mutation_can_change_packet_count(self, rng):
+        trace = TrafficTraceGenerator(duration=5.0, max_packets=200, seed=2).generate()
+        counts = {mutate_traffic_trace(trace, rng).packet_count for _ in range(20)}
+        assert len(counts) > 1
+
+    def test_mutate_trace_dispatch(self, rng):
+        link = LinkTraceGenerator(duration=2.0, seed=1).generate()
+        traffic = TrafficTraceGenerator(duration=2.0, max_packets=50, seed=1).generate()
+        loss = LossTraceGenerator(duration=2.0, max_losses=5, seed=1).generate()
+        assert isinstance(mutate_trace(link, rng), LinkTrace)
+        assert isinstance(mutate_trace(traffic, rng), TrafficTrace)
+        assert isinstance(mutate_trace(loss, rng), LossTrace)
+        with pytest.raises(TypeError):
+            mutate_trace(PacketTrace(timestamps=[], duration=1.0), rng)
+
+
+class TestCrossover:
+    def test_child_within_budget_and_duration(self, rng):
+        generator = TrafficTraceGenerator(duration=5.0, max_packets=300, seed=8)
+        parent_a, parent_b = generator.generate(), generator.generate()
+        for _ in range(20):
+            child = crossover_traffic_traces(parent_a, parent_b, rng)
+            assert child.packet_count <= child.max_packets
+            assert is_valid_trace(child)
+
+    def test_child_mixes_parents(self, rng):
+        early = TrafficTrace(timestamps=[0.1 * i for i in range(1, 20)], duration=5.0, max_packets=100)
+        late = TrafficTrace(timestamps=[4.0 + 0.05 * i for i in range(19)], duration=5.0, max_packets=100)
+        children = [crossover_traffic_traces(early, late, rng) for _ in range(20)]
+        assert any(
+            any(t < 2.0 for t in child.timestamps) and any(t > 4.0 for t in child.timestamps)
+            for child in children
+        )
+
+    def test_mismatched_durations_rejected(self, rng):
+        a = TrafficTrace(timestamps=[0.1], duration=5.0, max_packets=10)
+        b = TrafficTrace(timestamps=[0.1], duration=4.0, max_packets=10)
+        with pytest.raises(ValueError):
+            crossover_traffic_traces(a, b, rng)
+
+
+class TestConstraints:
+    def test_validate_accepts_generated_traces(self):
+        trace = LinkTraceGenerator(duration=5.0, seed=11).generate()
+        validate_trace(trace)
+
+    def test_validate_rejects_budget_violation(self):
+        trace = TrafficTrace(timestamps=[0.1, 0.2], duration=1.0, max_packets=5)
+        trace.timestamps.extend([0.3] * 10)
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace)
+
+    def test_burstiness_zero_for_uniform_trace(self):
+        uniform = PacketTrace(timestamps=[i * 0.05 for i in range(100)], duration=5.0)
+        assert burstiness_index(uniform, window=0.5) == pytest.approx(0.0, abs=0.05)
+
+    def test_burstiness_high_for_single_burst(self):
+        burst = PacketTrace(timestamps=[2.0 + 0.001 * i for i in range(100)], duration=5.0)
+        assert burstiness_index(burst, window=0.5) > 1.0
+
+    def test_longest_silence(self):
+        trace = PacketTrace(timestamps=[1.0, 1.1, 4.0], duration=5.0)
+        assert longest_silence(trace) == pytest.approx(2.9)
+
+    def test_longest_silence_empty_trace(self):
+        assert longest_silence(PacketTrace(timestamps=[], duration=5.0)) == 5.0
+
+    def test_max_rate_deviation_uniform(self):
+        uniform = PacketTrace(timestamps=[i * 0.01 for i in range(500)], duration=5.0)
+        assert max_rate_deviation(uniform, window=1.0) == pytest.approx(1.0, rel=0.05)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_link_mutation_preserves_invariants(seed):
+    """Property: arbitrary mutation chains never break the link-fuzzing invariants."""
+    rng = random.Random(seed)
+    original = LinkTraceGenerator(duration=2.0, average_rate_mbps=6.0, seed=seed).generate()
+    evolved = original
+    for _ in range(5):
+        evolved = mutate_link_trace(evolved, rng)
+    assert evolved.packet_count == original.packet_count
+    assert is_valid_trace(evolved)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_crossover_child_stays_valid(seed):
+    """Property: crossover children always respect budget and time range."""
+    rng = random.Random(seed)
+    generator = TrafficTraceGenerator(duration=3.0, max_packets=150, seed=seed)
+    parent_a, parent_b = generator.generate(), generator.generate()
+    child = crossover_traffic_traces(parent_a, parent_b, rng)
+    assert child.packet_count <= child.max_packets
+    assert is_valid_trace(child)
