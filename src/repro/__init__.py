@@ -18,6 +18,14 @@ True
 from .analysis import bbr_bug_evidence, compute_metrics
 from .attacks import bbr_stall_traffic_trace, lowrate_attack_trace
 from .core import CCFuzz, FuzzConfig, FuzzResult, GenerationStats, Individual, Population
+from .exec import (
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    TraceCache,
+    create_backend,
+)
 from .netsim import SimulationConfig, SimulationResult, run_simulation
 from .scoring import (
     HighDelayScore,
@@ -44,6 +52,7 @@ __all__ = [
     "Bbr",
     "CCFuzz",
     "Cubic",
+    "EvaluationBackend",
     "FuzzConfig",
     "FuzzResult",
     "GenerationStats",
@@ -56,17 +65,22 @@ __all__ = [
     "MinimalTrafficScore",
     "PacketTrace",
     "Population",
+    "ProcessPoolBackend",
     "RealismScorer",
     "Reno",
     "ScoreFunction",
+    "SerialBackend",
     "SimulationConfig",
     "SimulationResult",
     "StallScore",
+    "ThreadBackend",
+    "TraceCache",
     "TrafficTrace",
     "TrafficTraceGenerator",
     "bbr_bug_evidence",
     "bbr_stall_traffic_trace",
     "compute_metrics",
+    "create_backend",
     "dist_packets",
     "lowrate_attack_trace",
     "run_simulation",

@@ -12,6 +12,7 @@ Three entry points are installed with the package:
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from typing import Callable, Dict, List, Optional
@@ -32,12 +33,14 @@ from .traces.trace import LinkTrace, PacketTrace, TrafficTrace
 
 
 def _cca_factories() -> Dict[str, Callable]:
+    # partial() rather than lambda: factories must be picklable so the
+    # process evaluation backend can ship them to worker processes.
     return {
         "reno": Reno,
         "cubic": Cubic,
-        "cubic-ns3bug": lambda: Cubic(ns3_slow_start_bug=True),
+        "cubic-ns3bug": functools.partial(Cubic, ns3_slow_start_bug=True),
         "bbr": Bbr,
-        "bbr-fixed": lambda: Bbr(probe_rtt_on_rto=True),
+        "bbr-fixed": functools.partial(Bbr, probe_rtt_on_rto=True),
     }
 
 
@@ -73,7 +76,26 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--annealing-sigma", type=float, default=None)
     parser.add_argument("--output", type=str, default=None, help="write the best trace as JSON")
     parser.add_argument("--top", type=int, default=5, help="how many best traces to report")
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="evaluation backend; 'process' gives real parallelism on multi-core machines",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for thread/process backends (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable evaluation memoization (every trace is re-simulated)",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
 
     config = FuzzConfig(
         mode=args.mode,
@@ -83,6 +105,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         duration=args.duration,
         seed=args.seed,
         annealing_sigma=args.annealing_sigma,
+        backend=args.backend,
+        workers=args.workers,
+        use_cache=not args.no_cache,
     )
     fuzzer = CCFuzz(
         _cca_factories()[args.cca],
@@ -99,6 +124,18 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     result = fuzzer.run(progress=report_progress)
     print()
     print(format_generation_progress(result.generations))
+    print()
+    if result.cache_stats:
+        # Per-run numbers (cache_stats counts the cache's whole lifetime,
+        # which can span several runs when a cache is shared).
+        lookups = result.total_evaluations + result.cache_hits
+        hit_rate = result.cache_hits / lookups if lookups else 0.0
+        print(
+            f"evaluations: {result.total_evaluations} simulated, "
+            f"{result.cache_hits} served from cache (hit rate {hit_rate:.1%})"
+        )
+    else:
+        print(f"evaluations: {result.total_evaluations} simulated (cache disabled)")
     print()
     rows = [
         {

@@ -19,10 +19,14 @@ plateau patience or target fitness).
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult, run_simulation
+from ..exec.backend import BACKENDS, EvaluationBackend, SerialBackend, create_backend
+from ..exec.cache import CacheKey, TraceCache, cca_identity
+from ..exec.workers import EvaluationJob, EvaluationOutcome, simulate_packet_trace
+from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult
 from ..scoring.base import Score, ScoreFunction
 from ..scoring.performance import LowUtilizationScore
 from ..scoring.trace_score import MinimalTrafficScore
@@ -81,6 +85,11 @@ class FuzzConfig:
     patience: Optional[int] = None
     target_fitness: Optional[float] = None
 
+    # Evaluation backend.
+    backend: str = "serial"                #: "serial", "thread" or "process"
+    workers: Optional[int] = None          #: pool size (None = one per CPU)
+    use_cache: bool = True                 #: memoize (trace, cca, sim) -> score
+
     # Simulation parameters.
     sim: SimulationConfig = field(default_factory=SimulationConfig)
 
@@ -89,12 +98,24 @@ class FuzzConfig:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.population_size < 2:
             raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
         if self.k_elite >= self.population_size:
             raise ValueError("k_elite must be smaller than population_size")
         if not 0.0 <= self.crossover_fraction < 1.0:
             raise ValueError("crossover_fraction must be in [0, 1)")
         if self.islands < 1:
             raise ValueError("islands must be at least 1")
+        if not 0.0 <= self.migration_fraction <= 1.0:
+            raise ValueError("migration_fraction must be in [0, 1]")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1")
         self.sim = replace(self.sim, duration=self.duration)
 
     @property
@@ -126,7 +147,33 @@ class FuzzConfig:
 
 
 class CCFuzz:
-    """Genetic-algorithm fuzzer for congestion control algorithms."""
+    """Genetic-algorithm fuzzer for congestion control algorithms.
+
+    Batched-evaluation lifecycle
+    ----------------------------
+    Each generation the fuzzer gathers **every** unevaluated individual
+    across **all** islands into one batch, then:
+
+    1. looks each trace up in the :class:`~repro.exec.TraceCache` by
+       ``(trace fp, cca identity, sim-config fp, score-function fp)`` — elites,
+       migrants and duplicate offspring resolve here without a simulation,
+       and identical traces within the batch are coalesced into one job;
+    2. hands the cache misses to the configured
+       :class:`~repro.exec.EvaluationBackend` (``serial``, ``thread`` or
+       ``process``) as :class:`~repro.exec.EvaluationJob` objects, which the
+       backend may execute in any order but must return in input order;
+    3. writes the ``(Score, summary)`` outcomes back onto the individuals
+       and into the cache.
+
+    Results are bit-identical across backends for a fixed seed: the
+    simulator consumes no randomness, and all mutation/crossover/selection
+    randomness is drawn from ``self.rng`` in the coordinating process, never
+    in workers.  ``total_evaluations`` counts actual simulator (or external
+    evaluator) executions, i.e. cache misses.  External evaluators run inline
+    (they are arbitrary closures, not picklable) and disable the cache by
+    default since they carry no determinism guarantee; pass an explicit
+    ``cache=`` to opt back in.
+    """
 
     def __init__(
         self,
@@ -135,6 +182,8 @@ class CCFuzz:
         score_function: Optional[ScoreFunction] = None,
         seed_traces: Optional[Sequence[PacketTrace]] = None,
         evaluator: Optional[Evaluator] = None,
+        backend: Optional[EvaluationBackend] = None,
+        cache: Optional[TraceCache] = None,
     ) -> None:
         self.cca_factory = cca_factory
         self.config = config or FuzzConfig()
@@ -143,7 +192,34 @@ class CCFuzz:
         self._external_evaluator = evaluator
         self.rng = random.Random(self.config.seed)
         self.total_evaluations = 0
+        self.cache_hits = 0
         self._selection = RankSelection(self.rng)
+        # An injected backend/cache overrides the config; an injected backend
+        # is owned by the caller and is not closed after run().
+        self._injected_backend = backend
+        self._active_backend: Optional[EvaluationBackend] = None
+        if cache is not None:
+            self.cache = cache
+        elif evaluator is not None:
+            # External evaluators carry no determinism guarantee (they may
+            # measure a real network), so memoizing them by default would
+            # freeze the first noisy sample forever.  Callers that know their
+            # evaluator is pure can pass an explicit cache.
+            self.cache = None
+        elif self.config.use_cache:
+            # Bounded so multi-hour runs cannot grow memory without limit;
+            # LRU keeps the hot entries (recent elites, migrants, duplicates).
+            self.cache = TraceCache(max_entries=max(4096, 8 * self.config.total_population))
+        else:
+            self.cache = None
+        self._cca_name: Optional[str] = None
+        self._cca_key: Optional[str] = None
+        self._sim_fingerprint = self.config.sim.fingerprint()
+        # External evaluators have no introspectable scoring config; callers
+        # opting into a cache with one are asserting it is pure.
+        self._score_fingerprint = (
+            "external-evaluator" if evaluator is not None else self.score_function.fingerprint()
+        )
 
     # ------------------------------------------------------------------ #
     # Defaults
@@ -196,34 +272,94 @@ class CCFuzz:
     # Evaluation
     # ------------------------------------------------------------------ #
 
+    @property
+    def cca_name(self) -> str:
+        """Display name of the CCA under test."""
+        if self._cca_name is None:
+            self._cca_name = self.cca_factory().name
+        return self._cca_name
+
+    @property
+    def cca_key(self) -> str:
+        """Variant-aware CCA identity used in cache keys.
+
+        Distinguishes e.g. ``Bbr`` from ``partial(Bbr, probe_rtt_on_rto=True)``
+        so a cache shared across runs never serves one variant's scores to
+        another.
+        """
+        if self._cca_key is None:
+            self._cca_key = cca_identity(self.cca_factory())
+        return self._cca_key
+
     def simulate_trace(self, trace: PacketTrace) -> SimulationResult:
         """Run the CCA under test against a single trace."""
-        if isinstance(trace, LinkTrace):
-            return run_simulation(self.cca_factory, self.config.sim, link_trace=trace.timestamps)
-        if isinstance(trace, TrafficTrace):
-            return run_simulation(
-                self.cca_factory, self.config.sim, cross_traffic_times=trace.timestamps
-            )
-        if isinstance(trace, LossTrace):
-            return run_simulation(self.cca_factory, self.config.sim, loss_times=trace.timestamps)
-        raise TypeError(f"cannot simulate trace type {type(trace).__name__}")
+        return simulate_packet_trace(self.cca_factory, self.config.sim, trace)
 
-    def _evaluate(self, individual: Individual) -> None:
-        if self._external_evaluator is not None:
-            score, summary = self._external_evaluator(individual.trace)
-        else:
-            result = self.simulate_trace(individual.trace)
-            score = self.score_function(result, individual.trace)
-            summary = result.summary()
+    @staticmethod
+    def _apply_outcome(individual: Individual, score: Score, summary: Dict[str, object]) -> None:
         individual.score = score
         individual.result_summary = dict(summary)
-        self.total_evaluations += 1
 
-    def _evaluate_population(self, population: Population) -> int:
-        pending = population.unevaluated()
+    def _execute_batch(self, traces: Sequence[PacketTrace]) -> List[EvaluationOutcome]:
+        """Run the given traces through the evaluator or the active backend."""
+        if self._external_evaluator is not None:
+            # External evaluators are arbitrary closures: not picklable, so
+            # they always run inline regardless of the configured backend.
+            return [self._external_evaluator(trace) for trace in traces]
+        jobs = [
+            EvaluationJob(self.cca_factory, self.config.sim, trace, self.score_function)
+            for trace in traces
+        ]
+        backend = self._active_backend or SerialBackend()
+        return backend.evaluate_batch(jobs)
+
+    def _evaluate_generation(self, model: IslandModel) -> Tuple[int, int]:
+        """Evaluate every pending individual across all islands in one batch.
+
+        Returns ``(simulations_run, cache_hits)``.
+        """
+        pending = [ind for island in model.islands for ind in island.unevaluated()]
+        if not pending:
+            return 0, 0
+        if self.cache is None:
+            outcomes = self._execute_batch([ind.trace for ind in pending])
+            for individual, (score, summary) in zip(pending, outcomes):
+                self._apply_outcome(individual, score, summary)
+            self.total_evaluations += len(pending)
+            return len(pending), 0
+
+        # Group cache misses by key so identical traces (duplicate offspring,
+        # re-injected seeds) are simulated once per batch.
+        miss_groups: "OrderedDict[CacheKey, List[Individual]]" = OrderedDict()
+        hits = 0
         for individual in pending:
-            self._evaluate(individual)
-        return len(pending)
+            key = (
+                individual.trace.fingerprint(),
+                self.cca_key,
+                self._sim_fingerprint,
+                self._score_fingerprint,
+            )
+            if key in miss_groups:
+                miss_groups[key].append(individual)
+                self.cache.record_coalesced_hit()
+                hits += 1
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._apply_outcome(individual, *cached)
+                hits += 1
+            else:
+                miss_groups[key] = [individual]
+
+        if miss_groups:
+            outcomes = self._execute_batch([group[0].trace for group in miss_groups.values()])
+            for (key, group), (score, summary) in zip(miss_groups.items(), outcomes):
+                self.cache.put(key, score, summary)
+                for individual in group:
+                    self._apply_outcome(individual, score, summary)
+            self.total_evaluations += len(miss_groups)
+        self.cache_hits += hits
+        return len(miss_groups), hits
 
     # ------------------------------------------------------------------ #
     # Generation construction
@@ -254,13 +390,17 @@ class CCFuzz:
         ranked = population.sorted_by_fitness()
         next_population = Population()
 
+        # With the cache enabled, elite clones are left unevaluated and served
+        # from the cache next generation (a counted hit, never a simulation);
+        # without it they carry their scores forward as before.
+        carry_scores = self.cache is None
         for elite in pick_elites(ranked, cfg.k_elite):
             survivor = Individual(
                 trace=elite.trace.copy(),
-                score=elite.score,
+                score=elite.score if carry_scores else None,
                 generation_born=elite.generation_born,
                 origin="elite",
-                result_summary=dict(elite.result_summary),
+                result_summary=dict(elite.result_summary) if carry_scores else {},
             )
             next_population.add(survivor)
 
@@ -304,7 +444,9 @@ class CCFuzz:
             migration_fraction=cfg.migration_fraction,
         )
 
-    def _generation_stats(self, model: IslandModel, generation: int, evaluations: int) -> GenerationStats:
+    def _generation_stats(
+        self, model: IslandModel, generation: int, evaluations: int, cache_hits: int
+    ) -> GenerationStats:
         individuals = model.all_individuals()
         fitnesses = sorted((ind.fitness for ind in individuals), reverse=True)
         top_k = fitnesses[: self.config.top_k]
@@ -317,7 +459,16 @@ class CCFuzz:
             best_summary=dict(best.result_summary),
             evaluations=evaluations,
             per_island_best=[island.best().fitness for island in model.islands],
+            cache_hits=cache_hits,
         )
+
+    def _make_backend(self) -> Tuple[Optional[EvaluationBackend], bool]:
+        """The backend for this run and whether we own (must close) it."""
+        if self._external_evaluator is not None:
+            return None, False
+        if self._injected_backend is not None:
+            return self._injected_backend, False
+        return create_backend(self.config.backend, self.config.workers), True
 
     def run(self, progress: Optional[ProgressCallback] = None) -> FuzzResult:
         """Run the genetic search and return the best traces found."""
@@ -330,27 +481,36 @@ class CCFuzz:
         )
         history: List[GenerationStats] = []
         generation = 0
-        while True:
-            evaluations = sum(self._evaluate_population(island) for island in model.islands)
-            stats = self._generation_stats(model, generation, evaluations)
-            history.append(stats)
-            if progress is not None:
-                progress(stats)
-            if criterion.update(generation, stats.best_fitness):
-                break
-            if model.should_migrate(generation):
-                model.migrate(generation)
-            for index, island in enumerate(model.islands):
-                model.islands[index] = self._next_generation(island, generation + 1)
-            generation += 1
+        backend, owns_backend = self._make_backend()
+        self._active_backend = backend
+        try:
+            while True:
+                evaluations, cache_hits = self._evaluate_generation(model)
+                stats = self._generation_stats(model, generation, evaluations, cache_hits)
+                history.append(stats)
+                if progress is not None:
+                    progress(stats)
+                if criterion.update(generation, stats.best_fitness):
+                    break
+                if model.should_migrate(generation):
+                    model.migrate(generation)
+                for index, island in enumerate(model.islands):
+                    model.islands[index] = self._next_generation(island, generation + 1)
+                generation += 1
+        finally:
+            self._active_backend = None
+            if owns_backend and backend is not None:
+                backend.close()
 
         best = model.best()
         return FuzzResult(
             mode=cfg.mode,
-            cca_name=self.cca_factory().name,
+            cca_name=self.cca_name,
             best_individual=best,
             final_population=model.all_individuals(),
             generations=history,
             total_evaluations=self.total_evaluations,
             converged_generation=generation,
+            cache_hits=sum(stats.cache_hits for stats in history),
+            cache_stats=dict(self.cache.stats()) if self.cache is not None else {},
         )

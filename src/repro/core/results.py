@@ -22,8 +22,9 @@ class GenerationStats:
     mean_fitness: float
     top_k_mean_fitness: float
     best_summary: Dict[str, Any] = field(default_factory=dict)
-    evaluations: int = 0
+    evaluations: int = 0                   #: simulations actually run (cache misses)
     per_island_best: List[float] = field(default_factory=list)
+    cache_hits: int = 0                    #: evaluations avoided by the trace cache
 
 
 @dataclass
@@ -35,8 +36,11 @@ class FuzzResult:
     best_individual: Individual
     final_population: List[Individual]
     generations: List[GenerationStats]
-    total_evaluations: int
+    total_evaluations: int                 #: simulator/evaluator executions (cache misses)
     converged_generation: int
+    cache_hits: int = 0                    #: this run's evaluations served from the cache
+    #: Cache-lifetime counters; spans multiple runs when a cache is shared.
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def best_trace(self) -> PacketTrace:
@@ -72,6 +76,7 @@ class FuzzResult:
             "cca": self.cca_name,
             "generations": len(self.generations),
             "total_evaluations": self.total_evaluations,
+            "cache_hits": self.cache_hits,
             "best_fitness": self.best_fitness,
             "best_origin": self.best_individual.origin,
             "best_result": dict(self.best_individual.result_summary),

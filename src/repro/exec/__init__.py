@@ -1,0 +1,35 @@
+"""Parallel + memoized trace evaluation.
+
+This subsystem decouples *what* the GA evaluates (an :class:`EvaluationJob`)
+from *how* batches are executed (an :class:`EvaluationBackend`) and *whether*
+an evaluation needs to run at all (a :class:`TraceCache`).  The fuzzer batches
+every unevaluated individual across all islands each generation and hands the
+cache misses to the configured backend.
+"""
+
+from .backend import (
+    BACKENDS,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+)
+from .cache import CacheKey, TraceCache, cca_identity
+from .workers import EvaluationJob, EvaluationOutcome, evaluate_job, simulate_packet_trace
+
+__all__ = [
+    "BACKENDS",
+    "CacheKey",
+    "EvaluationBackend",
+    "EvaluationJob",
+    "EvaluationOutcome",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "TraceCache",
+    "cca_identity",
+    "create_backend",
+    "evaluate_job",
+    "simulate_packet_trace",
+]

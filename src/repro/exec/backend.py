@@ -1,0 +1,162 @@
+"""Evaluation backends: serial, thread pool and process pool.
+
+A backend turns a batch of :class:`EvaluationJob` objects into their
+outcomes, always **in input order** — callers rely on positional
+correspondence, and order-independence is what keeps parallel runs
+bit-identical to serial ones (scheduling may interleave, results may not).
+
+Backend selection guidance:
+
+* :class:`SerialBackend` — zero overhead; right for small populations and
+  for debugging (tracebacks surface directly).
+* :class:`ThreadBackend` — the simulator is pure Python, so the GIL
+  serialises most of the work; useful mainly for testing the batching
+  machinery and for any future C-accelerated simulator core.
+* :class:`ProcessPoolBackend` — real parallelism via ``multiprocessing``
+  with chunked submission; the win once ``population × islands`` dwarfs the
+  per-process pickling cost.  Requires picklable CCA factories.
+
+Pools are created lazily on first use and reused across generations; call
+:meth:`EvaluationBackend.close` (or use the backend as a context manager)
+to release workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from .workers import EvaluationJob, EvaluationOutcome, evaluate_job
+
+#: Backend names accepted by :func:`create_backend` and the CLI.
+BACKENDS = ("serial", "thread", "process")
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+class EvaluationBackend(abc.ABC):
+    """Executes batches of evaluation jobs, preserving input order."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
+        """Evaluate every job; ``result[i]`` corresponds to ``jobs[i]``."""
+
+    def close(self) -> None:
+        """Release any pooled workers (idempotent)."""
+
+    def __enter__(self) -> "EvaluationBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(EvaluationBackend):
+    """Evaluate jobs one after another in the calling process."""
+
+    name = "serial"
+
+    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
+        return [evaluate_job(job) for job in jobs]
+
+
+class ThreadBackend(EvaluationBackend):
+    """Evaluate jobs on a shared :class:`ThreadPoolExecutor`."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers or _default_workers()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-eval"
+            )
+        return self._executor
+
+    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
+        if not jobs:
+            return []
+        return list(self._pool().map(evaluate_job, jobs))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ProcessPoolBackend(EvaluationBackend):
+    """Evaluate jobs on a ``multiprocessing.Pool`` with chunked submission.
+
+    ``chunk_size`` controls how many jobs each worker message carries;
+    ``None`` picks ``ceil(len(jobs) / (4 × workers))`` so every worker gets a
+    few chunks per batch — large enough to amortise pickling, small enough to
+    balance uneven simulation times.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.workers = workers or _default_workers()
+        self.chunk_size = chunk_size
+        self._context = multiprocessing.get_context(mp_context)
+        self._pool_instance: Optional[multiprocessing.pool.Pool] = None
+
+    def _pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool_instance is None:
+            self._pool_instance = self._context.Pool(processes=self.workers)
+        return self._pool_instance
+
+    def _chunk_size(self, batch_size: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-batch_size // (4 * self.workers)))
+
+    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
+        if not jobs:
+            return []
+        return self._pool().map(evaluate_job, jobs, chunksize=self._chunk_size(len(jobs)))
+
+    def close(self) -> None:
+        if self._pool_instance is not None:
+            self._pool_instance.close()
+            self._pool_instance.join()
+            self._pool_instance = None
+
+
+def create_backend(name: str, workers: Optional[int] = None) -> EvaluationBackend:
+    """Build a backend by name (``serial``, ``thread`` or ``process``).
+
+    ``workers`` validation lives in the pool constructors (the layer that
+    uses the value); the serial backend ignores it.
+    """
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers=workers)
+    return ProcessPoolBackend(workers=workers)

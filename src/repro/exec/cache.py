@@ -1,0 +1,139 @@
+"""Memoization of trace evaluations.
+
+The simulator is deterministic, so ``(trace, CCA, simulation config)``
+uniquely determines the outcome.  :class:`TraceCache` exploits that to avoid
+re-simulating traces the search has already seen: elites cloned into the next
+generation, migrants copied between islands, and duplicate offspring (the
+mutation operators regenerate *one side* of a split, so identical children
+recur surprisingly often late in a converged run).
+
+Keys combine four stable fingerprints — :meth:`PacketTrace.fingerprint`,
+the variant-aware CCA identity (:func:`cca_identity`),
+:meth:`SimulationConfig.fingerprint` and :meth:`ScoreFunction.fingerprint` —
+so one cache can be shared across fuzzing runs against different CCAs,
+configs or scoring objectives without collisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..netsim.simulation import SimulationConfig
+from ..scoring.base import Score, stable_state
+from ..traces.trace import PacketTrace
+
+#: Cache key: (trace fp, cca identity, sim-config fp, score-function fp).
+CacheKey = Tuple[str, str, str, str]
+
+
+def cca_identity(cca: Any) -> str:
+    """Stable identity of a freshly-constructed CCA instance.
+
+    ``cca.name`` alone is not enough: variant factories like
+    ``partial(Bbr, probe_rtt_on_rto=True)`` share the class-level name while
+    behaving differently, so keying on the name alone would serve one
+    variant's scores to the other.  Hashing the initial attribute state
+    (which the constructor arguments determine) distinguishes every variant.
+    """
+    canonical = stable_state(cca, depth=1)
+    digest = hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+    return f"{cca.name}:{digest}"
+
+#: Cached value: the score plus the result summary dict.
+CachedOutcome = Tuple[Score, Dict[str, Any]]
+
+
+class TraceCache:
+    """LRU memo of ``(trace, cca, sim config) -> (Score, summary)``.
+
+    ``hits``/``misses`` count :meth:`get` outcomes exactly; callers that
+    satisfy a lookup from work already in flight (an in-batch duplicate)
+    should call :meth:`record_coalesced_hit` so the hit rate reflects every
+    avoided simulation.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, CachedOutcome]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def make_key(
+        trace: PacketTrace,
+        cca_key: str,
+        sim_config: SimulationConfig,
+        score_key: str = "",
+    ) -> CacheKey:
+        """Build a key; ``cca_key`` should come from :func:`cca_identity` and
+        ``score_key`` from :meth:`ScoreFunction.fingerprint`."""
+        return (trace.fingerprint(), cca_key, sim_config.fingerprint(), score_key)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insertion
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: CacheKey) -> Optional[CachedOutcome]:
+        """Return the cached outcome, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        score, summary = entry
+        return score, dict(summary)
+
+    def put(self, key: CacheKey, score: Score, summary: Dict[str, Any]) -> None:
+        self._entries[key] = (score, dict(summary))
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def record_coalesced_hit(self) -> None:
+        """Count a lookup satisfied by an identical evaluation already in flight."""
+        self.hits += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a simulation (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()

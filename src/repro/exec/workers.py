@@ -1,0 +1,61 @@
+"""Picklable evaluation units for the parallel backends.
+
+A worker evaluates one :class:`EvaluationJob` — ``(cca factory, simulation
+config, trace, score function)`` — and returns ``(Score, result summary)``.
+Everything here is defined at module top level so jobs can cross a
+``multiprocessing`` pickle boundary: the CCA factory must itself be picklable
+(a class, a top-level function or a :func:`functools.partial` of one — never
+a lambda or closure).
+
+The simulator consumes no random numbers, so a job's outcome depends only on
+its fields; evaluating the same job in any process, in any order, yields a
+bit-identical result.  All GA randomness (mutation, crossover, selection)
+stays in the coordinating process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult, run_simulation
+from ..scoring.base import Score, ScoreFunction
+from ..traces.trace import LinkTrace, LossTrace, PacketTrace, TrafficTrace
+
+#: What one evaluation produces: the fitness plus a compact result summary.
+EvaluationOutcome = Tuple[Score, Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """One unit of work: simulate ``trace`` against ``cca_factory`` and score it."""
+
+    cca_factory: CcaFactory
+    sim_config: SimulationConfig
+    trace: PacketTrace
+    score_function: ScoreFunction
+
+
+def simulate_packet_trace(
+    cca_factory: CcaFactory, sim_config: SimulationConfig, trace: PacketTrace
+) -> SimulationResult:
+    """Run one simulation, dispatching the trace to the right simulator input."""
+    if isinstance(trace, LinkTrace):
+        return run_simulation(cca_factory, sim_config, link_trace=trace.timestamps)
+    if isinstance(trace, TrafficTrace):
+        return run_simulation(cca_factory, sim_config, cross_traffic_times=trace.timestamps)
+    if isinstance(trace, LossTrace):
+        return run_simulation(cca_factory, sim_config, loss_times=trace.timestamps)
+    raise TypeError(f"cannot simulate trace type {type(trace).__name__}")
+
+
+def evaluate_job(job: EvaluationJob) -> EvaluationOutcome:
+    """Worker entry point: simulate, score, summarise.
+
+    Returns only small picklable values (a frozen :class:`Score` and a plain
+    dict) — never the full :class:`SimulationResult`, whose per-packet series
+    would dominate inter-process transfer cost.
+    """
+    result = simulate_packet_trace(job.cca_factory, job.sim_config, job.trace)
+    score = job.score_function(result, job.trace)
+    return score, result.summary()

@@ -9,7 +9,8 @@ sender/CCA internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .packet import Packet
@@ -43,6 +44,18 @@ class SimulationConfig:
     def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every field, for evaluation memoization.
+
+        Two configs share a fingerprint iff every field is equal, so a cached
+        ``(trace, cca, config) -> score`` entry can never be served to a run
+        with different simulation parameters.
+        """
+        canonical = ";".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
     @classmethod
     def paper_defaults(cls) -> "SimulationConfig":

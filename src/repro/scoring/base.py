@@ -14,11 +14,33 @@ maximises fitness.
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
 from ..netsim.simulation import SimulationResult
 from ..traces.trace import PacketTrace
+
+
+def stable_state(obj, depth: int) -> str:
+    """Deterministic textual state of a configuration object (no addresses).
+
+    Recurses through scalar attributes and list/tuple containers (covering
+    ``CompositeScore.components``); deeper nested objects degrade to their
+    class name, which keeps the output stable across processes at the cost
+    of not distinguishing exotic deeply-nested configurations.  Also used by
+    :func:`repro.exec.cca_identity` to fingerprint CCA variants.
+    """
+    if isinstance(obj, (bool, int, float, str, type(None))):
+        return repr(obj)
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(stable_state(item, depth) for item in obj) + "]"
+    if depth <= 0 or not hasattr(obj, "__dict__"):
+        return type(obj).__qualname__
+    attrs = ",".join(
+        f"{attr}={stable_state(value, depth - 1)}" for attr, value in sorted(vars(obj).items())
+    )
+    return f"{type(obj).__qualname__}({attrs})"
 
 
 @dataclass(frozen=True)
@@ -78,6 +100,16 @@ class ScoreFunction:
             performance=performance_component,
             trace=trace_component,
         )
+
+    def fingerprint(self) -> str:
+        """Stable identity of this scoring configuration.
+
+        Part of every evaluation-cache key: two runs sharing a cache but
+        scoring differently (other components, other weights) must never be
+        served each other's fitness values.
+        """
+        canonical = stable_state(self, depth=3)
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         trace_name = self.trace.name if self.trace is not None else "none"

@@ -9,7 +9,9 @@ opportunities; :class:`TrafficTrace` holds cross-traffic injection times.
 from __future__ import annotations
 
 import bisect
+import hashlib
 import json
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -60,6 +62,20 @@ class PacketTrace:
             mss_bytes=self.mss_bytes,
             metadata=dict(self.metadata),
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash used as a memoization key by the exec cache.
+
+        Covers everything that influences a simulation — trace type,
+        duration, MSS and the exact timestamp doubles — and nothing that
+        does not (metadata is deliberately excluded, so mutation/crossover
+        provenance tags never defeat the cache).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(type(self).__name__.encode("ascii"))
+        digest.update(struct.pack("<dq", self.duration, self.mss_bytes))
+        digest.update(struct.pack(f"<{len(self.timestamps)}d", *self.timestamps))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # Derived series

@@ -1,0 +1,314 @@
+"""Tests for the exec subsystem: backend equivalence and exact cache accounting.
+
+The determinism contract is the load-bearing property: for a fixed seed the
+GA must produce bit-identical histories no matter which backend evaluates the
+traces, because all randomness lives in the coordinating process and the
+simulator consumes none.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+
+import pytest
+
+from repro.core import CCFuzz, FuzzConfig
+from repro.exec import (
+    BACKENDS,
+    EvaluationJob,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    TraceCache,
+    cca_identity,
+    create_backend,
+    evaluate_job,
+)
+from repro.netsim import SimulationConfig
+from repro.scoring import LowUtilizationScore, ScoreFunction
+from repro.tcp import Cubic, Reno
+from repro.traces import LossTrace, TrafficTrace, TrafficTraceGenerator
+
+
+def tiny_config(mode: str, **overrides) -> FuzzConfig:
+    params = dict(
+        mode=mode,
+        population_size=4,
+        generations=3,
+        duration=1.0,
+        average_rate_mbps=3.0,
+        max_traffic_packets=40,
+        max_losses=5,
+        seed=13,
+    )
+    params.update(overrides)
+    return FuzzConfig(**params)
+
+
+def history_signature(result):
+    """Everything a generation reports, for exact cross-backend comparison."""
+    return [
+        (
+            stats.generation,
+            stats.best_fitness,
+            stats.mean_fitness,
+            stats.top_k_mean_fitness,
+            stats.evaluations,
+            stats.cache_hits,
+            tuple(stats.per_island_best),
+            tuple(sorted(stats.best_summary.items())),
+        )
+        for stats in result.generations
+    ]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("mode", ["link", "traffic", "loss"])
+    def test_all_backends_identical_histories(self, mode):
+        results = {}
+        for backend in BACKENDS:
+            config = tiny_config(mode, backend=backend, workers=2)
+            results[backend] = CCFuzz(Reno, config=config).run()
+        serial = results["serial"]
+        for backend in ("thread", "process"):
+            other = results[backend]
+            assert history_signature(other) == history_signature(serial), backend
+            assert other.best_fitness == serial.best_fitness
+            assert other.total_evaluations == serial.total_evaluations
+            assert other.best_trace.fingerprint() == serial.best_trace.fingerprint()
+
+    def test_injected_backend_is_used_and_not_closed(self):
+        backend = ThreadBackend(workers=2)
+        fuzzer = CCFuzz(Reno, config=tiny_config("traffic"), backend=backend)
+        fuzzer.run()
+        # The run used the injected pool and must not shut down a
+        # caller-owned backend.
+        assert backend._executor is not None
+        backend.close()
+        assert backend._executor is None
+
+    def test_batch_results_preserve_input_order(self):
+        generator = TrafficTraceGenerator(duration=1.0, max_packets=30, seed=3)
+        traces = generator.generate_population(6)
+        score_function = ScoreFunction(performance=LowUtilizationScore())
+        jobs = [
+            EvaluationJob(Reno, SimulationConfig(duration=1.0), trace, score_function)
+            for trace in traces
+        ]
+        expected = [evaluate_job(job) for job in jobs]
+        with ThreadBackend(workers=3) as threaded:
+            assert threaded.evaluate_batch(jobs) == expected
+        with ProcessPoolBackend(workers=2) as pooled:
+            assert pooled.evaluate_batch(jobs) == expected
+
+    def test_empty_batch(self):
+        for backend in (SerialBackend(), ThreadBackend(workers=1)):
+            with backend:
+                assert backend.evaluate_batch([]) == []
+
+    def test_partial_cca_factory_job_is_picklable(self):
+        job = EvaluationJob(
+            cca_factory=functools.partial(Cubic, ns3_slow_start_bug=True),
+            sim_config=SimulationConfig(duration=1.0),
+            trace=TrafficTrace(timestamps=[0.1, 0.5], duration=1.0, max_packets=5),
+            score_function=ScoreFunction(performance=LowUtilizationScore()),
+        )
+        restored = pickle.loads(pickle.dumps(job))
+        assert restored.trace.fingerprint() == job.trace.fingerprint()
+        assert evaluate_job(restored) == evaluate_job(job)
+
+
+class TestCreateBackend:
+    def test_names_map_to_classes(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        assert isinstance(create_backend("thread", workers=2), ThreadBackend)
+        backend = create_backend("process", workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        backend.close()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            create_backend("quantum")
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_invalid_workers_rejected(self, workers):
+        with pytest.raises(ValueError, match="workers"):
+            create_backend("thread", workers=workers)
+        with pytest.raises(ValueError, match="workers"):
+            ThreadBackend(workers=workers)
+        with pytest.raises(ValueError, match="workers"):
+            ProcessPoolBackend(workers=workers)
+
+    def test_process_chunking_covers_batch(self):
+        backend = ProcessPoolBackend(workers=2)
+        assert backend._chunk_size(1) == 1
+        assert backend._chunk_size(8) == 1
+        assert backend._chunk_size(80) == 10
+        fixed = ProcessPoolBackend(workers=2, chunk_size=5)
+        assert fixed._chunk_size(1000) == 5
+
+
+class TestTraceCache:
+    def make_key(self, seed: int):
+        trace = TrafficTrace(timestamps=[0.1 * seed], duration=1.0, max_packets=5)
+        return TraceCache.make_key(trace, "reno", SimulationConfig(duration=1.0))
+
+    def test_hit_and_miss_counting_is_exact(self):
+        from repro.scoring.base import Score
+
+        cache = TraceCache()
+        key = self.make_key(1)
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(key, Score(total=1.0, performance=1.0), {"x": 1})
+        for lookup in range(3):
+            score, summary = cache.get(key)
+            assert score.total == 1.0
+            assert summary == {"x": 1}
+        assert (cache.hits, cache.misses) == (3, 1)
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_cached_summary_is_isolated_from_callers(self):
+        from repro.scoring.base import Score
+
+        cache = TraceCache()
+        key = self.make_key(1)
+        cache.put(key, Score(total=1.0, performance=1.0), {"x": 1})
+        _, summary = cache.get(key)
+        summary["x"] = 99
+        assert cache.get(key)[1] == {"x": 1}
+
+    def test_key_distinguishes_trace_cca_and_config(self):
+        trace_a = TrafficTrace(timestamps=[0.1], duration=1.0, max_packets=5)
+        trace_b = TrafficTrace(timestamps=[0.2], duration=1.0, max_packets=5)
+        config = SimulationConfig(duration=1.0)
+        base = TraceCache.make_key(trace_a, "reno", config)
+        assert TraceCache.make_key(trace_b, "reno", config) != base
+        assert TraceCache.make_key(trace_a, "cubic", config) != base
+        assert TraceCache.make_key(trace_a, "reno", config.with_overrides(queue_capacity=10)) != base
+
+    def test_lru_eviction(self):
+        from repro.scoring.base import Score
+
+        cache = TraceCache(max_entries=2)
+        keys = [self.make_key(i) for i in range(3)]
+        for index, key in enumerate(keys):
+            cache.put(key, Score(total=float(index), performance=float(index)), {})
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert keys[0] not in cache
+        assert keys[1] in cache and keys[2] in cache
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=0)
+
+
+class TestFuzzerCacheIntegration:
+    def test_elite_reevaluations_drop_to_zero(self):
+        config = tiny_config("traffic", generations=5, k_elite=2)
+        fuzzer = CCFuzz(Reno, config=config)
+        result = fuzzer.run()
+        # Elites are cloned unevaluated and must all be cache hits: the
+        # simulator only ever runs for the initial population plus the new
+        # offspring of each later generation.
+        later_generations = result.generations[1:]
+        assert all(stats.cache_hits >= config.k_elite for stats in later_generations)
+        max_simulations = config.population_size + len(later_generations) * (
+            config.population_size - config.k_elite
+        )
+        assert result.total_evaluations <= max_simulations
+        assert result.cache_hits >= config.k_elite * len(later_generations)
+        assert result.cache_stats["hits"] == result.cache_hits
+
+    def test_shared_cache_across_runs_skips_known_traces(self):
+        cache = TraceCache()
+        config = tiny_config("traffic")
+        first = CCFuzz(Reno, config=config, cache=cache).run()
+        second = CCFuzz(Reno, config=tiny_config("traffic"), cache=cache).run()
+        # Identical seed: the second run's whole trajectory is cache-served.
+        assert second.total_evaluations == 0
+        assert second.best_fitness == first.best_fitness
+
+    def test_shared_cache_never_mixes_cca_variants(self):
+        from repro.tcp import Bbr
+
+        buggy = cca_identity(Bbr())
+        fixed = cca_identity(Bbr(probe_rtt_on_rto=True))
+        assert buggy != fixed
+        assert buggy.startswith("bbr:") and fixed.startswith("bbr:")
+        # Same constructor arguments -> same identity, across instances.
+        assert cca_identity(Bbr()) == buggy
+        assert cca_identity(functools.partial(Bbr, probe_rtt_on_rto=True)()) == fixed
+
+        cache = TraceCache()
+        config = tiny_config("traffic")
+        CCFuzz(Bbr, config=config, cache=cache).run()
+        fixed_run = CCFuzz(
+            functools.partial(Bbr, probe_rtt_on_rto=True),
+            config=tiny_config("traffic"),
+            cache=cache,
+        ).run()
+        # The fixed-BBR run must re-simulate everything, not reuse buggy-BBR scores.
+        assert fixed_run.total_evaluations > 0
+
+    def test_shared_cache_never_mixes_score_functions(self):
+        from repro.scoring import MinimalTrafficScore
+
+        light = ScoreFunction(
+            performance=LowUtilizationScore(), trace=MinimalTrafficScore(), trace_weight=1e-3
+        )
+        heavy = ScoreFunction(
+            performance=LowUtilizationScore(), trace=MinimalTrafficScore(), trace_weight=10.0
+        )
+        assert light.fingerprint() != heavy.fingerprint()
+        # Same configuration across instances -> same fingerprint.
+        assert light.fingerprint() == ScoreFunction(
+            performance=LowUtilizationScore(), trace=MinimalTrafficScore(), trace_weight=1e-3
+        ).fingerprint()
+
+        cache = TraceCache()
+        config = tiny_config("traffic")
+        first = CCFuzz(Reno, config=config, score_function=light, cache=cache).run()
+        second = CCFuzz(
+            Reno, config=tiny_config("traffic"), score_function=heavy, cache=cache
+        ).run()
+        # The differently-scored run must re-simulate, not reuse fitnesses.
+        assert second.total_evaluations > 0
+        fresh = CCFuzz(Reno, config=tiny_config("traffic"), score_function=heavy).run()
+        assert second.best_fitness == fresh.best_fitness
+        assert second.best_fitness != first.best_fitness
+
+    def test_external_evaluator_not_cached_by_default(self):
+        from repro.scoring.base import Score
+
+        calls = []
+
+        def noisy_evaluator(trace):
+            calls.append(trace)
+            fitness = float(len(calls))  # deliberately nondeterministic
+            return Score(total=fitness, performance=fitness), {}
+
+        fuzzer = CCFuzz(Reno, config=tiny_config("traffic"), evaluator=noisy_evaluator)
+        assert fuzzer.cache is None
+        result = fuzzer.run()
+        assert result.total_evaluations == len(calls)
+        # An explicit cache opts back in for evaluators known to be pure.
+        cached = CCFuzz(
+            Reno, config=tiny_config("traffic"), evaluator=noisy_evaluator, cache=TraceCache()
+        )
+        assert cached.cache is not None
+
+    def test_default_cache_is_bounded(self):
+        fuzzer = CCFuzz(Reno, config=tiny_config("traffic"))
+        assert fuzzer.cache.max_entries >= 4096
+
+    def test_cache_disabled_gives_identical_history(self):
+        cached = CCFuzz(Reno, config=tiny_config("traffic")).run()
+        uncached = CCFuzz(Reno, config=tiny_config("traffic", use_cache=False)).run()
+        assert [s.best_fitness for s in cached.generations] == [
+            s.best_fitness for s in uncached.generations
+        ]
+        assert uncached.cache_hits == 0
+        assert uncached.cache_stats == {}

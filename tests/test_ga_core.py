@@ -330,6 +330,34 @@ class TestFuzzConfig:
         with pytest.raises(ValueError):
             FuzzConfig(population_size=4, k_elite=4)
 
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_migration_fraction_must_be_unit_interval(self, fraction):
+        with pytest.raises(ValueError, match="migration_fraction"):
+            FuzzConfig(migration_fraction=fraction)
+
+    @pytest.mark.parametrize("top_k", [0, -3])
+    def test_top_k_must_be_positive(self, top_k):
+        with pytest.raises(ValueError, match="top_k"):
+            FuzzConfig(top_k=top_k)
+
+    @pytest.mark.parametrize("duration", [0.0, -1.0])
+    def test_duration_must_be_positive(self, duration):
+        with pytest.raises(ValueError, match="duration"):
+            FuzzConfig(duration=duration)
+
+    @pytest.mark.parametrize("generations", [0, -1])
+    def test_generations_must_be_positive(self, generations):
+        with pytest.raises(ValueError, match="generations"):
+            FuzzConfig(generations=generations)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            FuzzConfig(backend="gpu")
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            FuzzConfig(workers=0)
+
     def test_paper_defaults_match_section_4(self):
         config = FuzzConfig.paper_defaults()
         assert config.total_population == 500

@@ -1,0 +1,138 @@
+"""Property-based tests for trace operators and fingerprints.
+
+The genetic operators must uphold each mode's structural invariants for
+*every* input, not just the generator's outputs — mutation and crossover feed
+their own outputs back as inputs for hundreds of generations, so any
+invariant they fail to preserve decays over a run.  Hypothesis searches for
+the failing inputs directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.traces import LinkTrace, LossTrace, TrafficTrace
+from repro.traces.crossover import crossover_loss_traces, crossover_traffic_traces
+from repro.traces.mutation import mutate_link_trace, mutate_loss_trace, mutate_traffic_trace
+
+DURATION = 2.0
+
+#: Timestamps anywhere in [0, DURATION], including exact bounds and duplicates.
+timestamps_st = st.lists(
+    st.floats(min_value=0.0, max_value=DURATION, allow_nan=False), min_size=0, max_size=40
+)
+seeds_st = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def link_trace(timestamps):
+    return LinkTrace(timestamps=timestamps, duration=DURATION)
+
+
+def traffic_trace(timestamps, max_packets=60):
+    return TrafficTrace(timestamps=timestamps, duration=DURATION, max_packets=max_packets)
+
+
+def loss_trace(timestamps):
+    return LossTrace(timestamps=timestamps, duration=DURATION)
+
+
+def assert_well_formed(trace):
+    assert trace.timestamps == sorted(trace.timestamps)
+    assert all(0.0 <= t <= trace.duration for t in trace.timestamps)
+
+
+class TestMutationInvariants:
+    @given(timestamps=timestamps_st, seed=seeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_link_mutation_preserves_packet_budget(self, timestamps, seed):
+        trace = link_trace(timestamps)
+        mutated = mutate_link_trace(trace, random.Random(seed))
+        assert_well_formed(mutated)
+        # The link invariant (section 3.2): fixed packet count, hence fixed
+        # average bandwidth, across the whole search.
+        assert mutated.packet_count == trace.packet_count
+        assert isinstance(mutated, LinkTrace)
+
+    @given(timestamps=timestamps_st, max_packets=st.integers(40, 80), seed=seeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_mutation_respects_budget(self, timestamps, max_packets, seed):
+        trace = traffic_trace(timestamps, max_packets=max_packets)
+        mutated = mutate_traffic_trace(trace, random.Random(seed))
+        assert_well_formed(mutated)
+        assert mutated.packet_count <= trace.max_packets
+        assert mutated.max_packets == trace.max_packets
+
+    @given(timestamps=timestamps_st, max_losses=st.integers(1, 50), seed=seeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_loss_mutation_respects_max_losses(self, timestamps, max_losses, seed):
+        trace = loss_trace(timestamps[:max_losses])
+        mutated = mutate_loss_trace(trace, random.Random(seed), max_losses=max_losses)
+        assert_well_formed(mutated)
+        assert mutated.packet_count <= max_losses
+
+
+class TestCrossoverInvariants:
+    @given(left=timestamps_st, right=timestamps_st, seed=seeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_crossover_respects_budget(self, left, right, seed):
+        parent_a = traffic_trace(left, max_packets=60)
+        parent_b = traffic_trace(right, max_packets=50)
+        child = crossover_traffic_traces(parent_a, parent_b, random.Random(seed))
+        assert_well_formed(child)
+        assert child.packet_count <= max(parent_a.max_packets, parent_b.max_packets)
+
+    @given(left=timestamps_st, right=timestamps_st, seed=seeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_loss_crossover_stays_in_bounds(self, left, right, seed):
+        child = crossover_loss_traces(loss_trace(left), loss_trace(right), random.Random(seed))
+        assert_well_formed(child)
+
+
+class TestFingerprint:
+    @given(timestamps=timestamps_st)
+    @settings(max_examples=60, deadline=None)
+    def test_stable_under_copy_and_serialisation(self, timestamps):
+        for trace in (link_trace(timestamps), traffic_trace(timestamps), loss_trace(timestamps)):
+            assert trace.copy().fingerprint() == trace.fingerprint()
+            round_tripped = type(trace).from_json(trace.to_json())
+            assert round_tripped.fingerprint() == trace.fingerprint()
+
+    @given(timestamps=timestamps_st)
+    @settings(max_examples=60, deadline=None)
+    def test_insensitive_to_metadata(self, timestamps):
+        trace = traffic_trace(timestamps)
+        tagged = trace.copy()
+        tagged.metadata["mutated"] = True
+        assert tagged.fingerprint() == trace.fingerprint()
+
+    @given(
+        timestamps=st.lists(
+            st.floats(min_value=0.0, max_value=DURATION, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        index=st.integers(min_value=0, max_value=39),
+        replacement=st.floats(min_value=0.0, max_value=DURATION, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sensitive_to_any_timestamp_change(self, timestamps, index, replacement):
+        trace = link_trace(timestamps)
+        changed = list(trace.timestamps)
+        changed[index % len(changed)] = replacement
+        altered = link_trace(changed)
+        if altered.timestamps == trace.timestamps:
+            assert altered.fingerprint() == trace.fingerprint()
+        else:
+            assert altered.fingerprint() != trace.fingerprint()
+
+    def test_distinguishes_trace_types_and_parameters(self):
+        stamps = [0.25, 0.5, 1.5]
+        base = link_trace(stamps)
+        assert traffic_trace(stamps).fingerprint() != base.fingerprint()
+        assert loss_trace(stamps).fingerprint() != base.fingerprint()
+        longer = LinkTrace(timestamps=stamps, duration=DURATION + 1.0)
+        assert longer.fingerprint() != base.fingerprint()
+        wider = LinkTrace(timestamps=stamps, duration=DURATION, mss_bytes=9000)
+        assert wider.fingerprint() != base.fingerprint()
