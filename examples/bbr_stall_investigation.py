@@ -13,20 +13,24 @@ This example walks through the finding end to end:
    the damage.
 
 Usage:
-    python examples/bbr_stall_investigation.py
+    python examples/bbr_stall_investigation.py [--duration SECONDS]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import Bbr, SimulationConfig, run_simulation
 from repro.analysis import ascii_chart, bbr_bug_evidence, describe_bug_timeline, format_table
 from repro.attacks import bbr_stall_traffic_trace, lose_segment_and_retransmission
 
-DURATION = 6.0
-
 
 def main() -> None:
-    config = SimulationConfig(duration=DURATION)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=6.0)
+    args = parser.parse_args()
+    duration = args.duration
+    config = SimulationConfig(duration=duration)
 
     print("=" * 72)
     print("Step 1: BBR on a clean 12 Mbps / 20 ms bottleneck")
@@ -38,7 +42,7 @@ def main() -> None:
     print("=" * 72)
     print("Step 2: BBR against the adversarial cross-traffic pattern (Fig. 4a)")
     print("=" * 72)
-    trace = bbr_stall_traffic_trace(duration=DURATION)
+    trace = bbr_stall_traffic_trace(duration=duration)
     attacked = run_simulation(Bbr, config, cross_traffic_times=trace.timestamps)
     print(f"cross traffic: {trace.packet_count} packets, "
           f"{trace.average_rate_mbps:.2f} Mbps average")

@@ -16,7 +16,15 @@ True
 """
 
 from .analysis import bbr_bug_evidence, compute_metrics
-from .attacks import bbr_stall_traffic_trace, lowrate_attack_trace
+from .attacks import bbr_stall_traffic_trace, builtin_attack_traces, lowrate_attack_trace
+from .campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CorpusStore,
+    GaBudget,
+    NetworkCondition,
+    replay_corpus,
+)
 from .core import CCFuzz, FuzzConfig, FuzzResult, GenerationStats, Individual, Population
 from .exec import (
     EvaluationBackend,
@@ -51,10 +59,14 @@ __version__ = "1.0.0"
 __all__ = [
     "Bbr",
     "CCFuzz",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CorpusStore",
     "Cubic",
     "EvaluationBackend",
     "FuzzConfig",
     "FuzzResult",
+    "GaBudget",
     "GenerationStats",
     "HighDelayScore",
     "Individual",
@@ -63,6 +75,7 @@ __all__ = [
     "LossTrace",
     "LowUtilizationScore",
     "MinimalTrafficScore",
+    "NetworkCondition",
     "PacketTrace",
     "Population",
     "ProcessPoolBackend",
@@ -79,10 +92,12 @@ __all__ = [
     "TrafficTraceGenerator",
     "bbr_bug_evidence",
     "bbr_stall_traffic_trace",
+    "builtin_attack_traces",
     "compute_metrics",
     "create_backend",
     "dist_packets",
     "lowrate_attack_trace",
+    "replay_corpus",
     "run_simulation",
     "__version__",
 ]

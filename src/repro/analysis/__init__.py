@@ -9,7 +9,13 @@ from .queueing import (
     standing_queue_estimate,
     time_above_delay,
 )
-from .reporting import ascii_chart, format_comparison, format_generation_progress, format_table
+from .reporting import (
+    ascii_chart,
+    format_campaign_summary,
+    format_comparison,
+    format_generation_progress,
+    format_table,
+)
 from .timeline import (
     BbrBugEvidence,
     StallPeriod,
@@ -30,6 +36,7 @@ __all__ = [
     "compute_metrics",
     "describe_bug_timeline",
     "extract_stall_periods",
+    "format_campaign_summary",
     "format_comparison",
     "format_generation_progress",
     "format_table",

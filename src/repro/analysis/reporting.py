@@ -91,6 +91,28 @@ def format_comparison(
     return f"{metric}: {label_a}={value_a:.3f} {label_b}={value_b:.3f} (ratio {ratio:.2f}x)"
 
 
+def format_campaign_summary(
+    scenario_rows: Sequence[Dict[str, object]],
+    corpus_stats: Optional[Dict[str, object]] = None,
+    cache_stats: Optional[Dict[str, object]] = None,
+) -> str:
+    """Campaign summary: per-scenario table plus corpus/cache one-liners."""
+    sections: List[str] = [format_table(scenario_rows)]
+    if corpus_stats:
+        sections.append(
+            f"corpus: {corpus_stats.get('entries', 0)} entries "
+            f"(by mode: {corpus_stats.get('by_mode', {})}, "
+            f"by origin: {corpus_stats.get('by_origin', {})})"
+        )
+    if cache_stats:
+        sections.append(
+            f"shared cache: {cache_stats.get('entries', 0)} entries, "
+            f"{cache_stats.get('hits', 0)} hits / {cache_stats.get('misses', 0)} misses "
+            f"(hit rate {float(cache_stats.get('hit_rate', 0.0)):.1%})"
+        )
+    return "\n\n".join(sections)
+
+
 def format_generation_progress(generations: Sequence[object]) -> str:
     """Table of per-generation GA statistics (works with GenerationStats)."""
     rows = []

@@ -1,5 +1,8 @@
 """Known adversarial traffic patterns used as baselines for the GA's findings."""
 
+from typing import Dict
+
+from ..traces.trace import PacketTrace
 from .bbr_stall import (
     bbr_delay_attack_trace,
     bbr_double_loss_burst_trace,
@@ -9,6 +12,23 @@ from .bbr_stall import (
 from .fault_injection import TargetedLoss, lose_segment_and_retransmission
 from .lowrate import attack_rate_mbps, lowrate_attack_times, lowrate_attack_trace
 
+
+def builtin_attack_traces(duration: float, mss_bytes: int = 1500) -> Dict[str, PacketTrace]:
+    """Every hand-crafted attack as a named trace of the given duration.
+
+    The campaign subsystem registers these as the initial entries of a fresh
+    attack corpus, so each known-bad pattern both gets replayed against every
+    CCA under test and seeds the genetic search alongside random traces.
+    """
+    return {
+        "lowrate": lowrate_attack_trace(duration=duration, mss_bytes=mss_bytes),
+        "bbr-stall": bbr_stall_traffic_trace(duration=duration, mss_bytes=mss_bytes),
+        "bbr-double-loss": bbr_double_loss_burst_trace(duration=duration, mss_bytes=mss_bytes),
+        "bbr-delay": bbr_delay_attack_trace(duration=duration, mss_bytes=mss_bytes),
+        "bbr-stall-link": bbr_stall_link_trace(duration=duration, mss_bytes=mss_bytes),
+    }
+
+
 __all__ = [
     "TargetedLoss",
     "attack_rate_mbps",
@@ -16,6 +36,7 @@ __all__ = [
     "bbr_double_loss_burst_trace",
     "bbr_stall_link_trace",
     "bbr_stall_traffic_trace",
+    "builtin_attack_traces",
     "lose_segment_and_retransmission",
     "lowrate_attack_times",
     "lowrate_attack_trace",

@@ -1,0 +1,48 @@
+"""Campaign orchestration: scenario-matrix fuzzing with a persistent corpus.
+
+A *campaign* turns the one-off fuzzing runs of the paper into a systematic
+benchmark sweep:
+
+* :mod:`spec` — declarative campaign specs (CCAs × modes × objectives ×
+  network conditions) expanded into a deterministic scenario matrix;
+* :mod:`corpus` — the persistent on-disk attack corpus: fingerprint-deduped
+  winning traces with full provenance;
+* :mod:`scheduler` — runs every scenario through one shared evaluation
+  backend and trace cache, seeding each search from the corpus;
+* :mod:`replay` — regression mode: re-simulate the whole corpus against a
+  CCA and report score deltas;
+* :mod:`report` — plain-text and JSON campaign summaries.
+"""
+
+from .corpus import CorpusEntry, CorpusStore, mode_of_trace
+from .replay import ReplayReport, ReplayRow, replay_corpus
+from .report import (
+    format_campaign_report,
+    format_corpus_report,
+    format_replay_report,
+    read_campaign_report,
+    write_campaign_report,
+)
+from .scheduler import CampaignResult, CampaignRunner, ScenarioOutcome
+from .spec import CampaignSpec, GaBudget, NetworkCondition, Scenario
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CorpusEntry",
+    "CorpusStore",
+    "GaBudget",
+    "NetworkCondition",
+    "ReplayReport",
+    "ReplayRow",
+    "Scenario",
+    "ScenarioOutcome",
+    "format_campaign_report",
+    "format_corpus_report",
+    "format_replay_report",
+    "mode_of_trace",
+    "read_campaign_report",
+    "replay_corpus",
+    "write_campaign_report",
+]

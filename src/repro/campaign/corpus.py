@@ -1,0 +1,354 @@
+"""The persistent attack corpus: deduped winning traces with provenance.
+
+On-disk layout (one directory per corpus)::
+
+    corpus/
+      index.json           # schema version + per-entry summaries
+      entries/<fp>.json    # full entry: the trace plus its provenance
+
+Entries are keyed by :meth:`PacketTrace.fingerprint`, so re-discovering a
+trace (same timestamps, duration, MSS) in another scenario or campaign never
+duplicates it — instead the entry's ``rediscoveries`` counter grows and its
+recorded score is upgraded if the new find scored higher.  Every write goes
+straight to disk, so a corpus directory is always loadable even if a
+campaign is interrupted mid-run.
+
+The same serialization backs ``repro-fuzz --output-dir`` (dumping a single
+run's top-k) and the campaign scheduler's harvest, which is what makes a
+one-off fuzzing result importable into a long-lived corpus later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..traces.trace import LinkTrace, LossTrace, PacketTrace, TrafficTrace
+
+#: index.json schema version, bumped on incompatible layout changes.
+CORPUS_SCHEMA = 1
+
+_MODE_BY_TYPE = {LinkTrace: "link", TrafficTrace: "traffic", LossTrace: "loss"}
+
+
+def atomic_json_dump(payload: Dict[str, Any], path: str, **json_kwargs: Any) -> None:
+    """Write JSON via a temp file + rename in the same directory.
+
+    A crash mid-write leaves the previous version intact, never a truncated
+    JSON file — the property that keeps a corpus directory loadable after an
+    interrupted campaign.
+    """
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, **json_kwargs)
+    os.replace(tmp_path, path)
+
+
+def mode_of_trace(trace: PacketTrace) -> str:
+    """The fuzzing mode a trace belongs to (by its concrete type)."""
+    for trace_type, mode in _MODE_BY_TYPE.items():
+        if isinstance(trace, trace_type):
+            return mode
+    raise TypeError(f"trace type {type(trace).__name__} has no fuzzing mode")
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus member: an adversarial trace plus where it came from."""
+
+    trace: PacketTrace
+    fingerprint: str
+    mode: str
+    scenario_id: str                       #: e.g. "reno/traffic/throughput/base"
+    cca: str                               #: CCA the trace was found against
+    objective: str
+    score: Optional[float]                 #: fitness when found (None for builtins)
+    generation_found: int = 0
+    origin: str = "fuzz"                   #: "fuzz", "builtin" or "import"
+    campaign: str = ""
+    condition: Dict[str, Any] = field(default_factory=dict)
+    rediscoveries: int = 0                 #: times the same trace was re-found
+
+    @property
+    def duration(self) -> float:
+        return self.trace.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "mode": self.mode,
+            "scenario_id": self.scenario_id,
+            "cca": self.cca,
+            "objective": self.objective,
+            "score": self.score,
+            "generation_found": self.generation_found,
+            "origin": self.origin,
+            "campaign": self.campaign,
+            "condition": dict(self.condition),
+            "rediscoveries": self.rediscoveries,
+            "trace": self.trace.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CorpusEntry":
+        trace = PacketTrace.from_dict(payload["trace"])
+        return cls(
+            trace=trace,
+            fingerprint=payload["fingerprint"],
+            mode=payload.get("mode", mode_of_trace(trace)),
+            scenario_id=payload.get("scenario_id", ""),
+            cca=payload.get("cca", ""),
+            objective=payload.get("objective", ""),
+            score=payload.get("score"),
+            generation_found=int(payload.get("generation_found", 0)),
+            origin=payload.get("origin", "fuzz"),
+            campaign=payload.get("campaign", ""),
+            condition=dict(payload.get("condition", {})),
+            rediscoveries=int(payload.get("rediscoveries", 0)),
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact index.json row (everything except the trace itself)."""
+        return {
+            "mode": self.mode,
+            "scenario_id": self.scenario_id,
+            "cca": self.cca,
+            "objective": self.objective,
+            "score": self.score,
+            "origin": self.origin,
+            "duration": self.duration,
+            "packets": self.trace.packet_count,
+            "average_rate_mbps": self.trace.average_rate_mbps,
+            "generation_found": self.generation_found,
+            "rediscoveries": self.rediscoveries,
+        }
+
+
+class CorpusStore:
+    """Fingerprint-deduped, write-through on-disk corpus of attack traces.
+
+    Thread-safe: the campaign scheduler harvests from several scenario
+    threads at once.  Entry payloads are loaded lazily and memoized, so
+    replaying a large corpus reads each trace file exactly once.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._entries_dir = os.path.join(self.path, "entries")
+        self._index_path = os.path.join(self.path, "index.json")
+        self._lock = threading.RLock()
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._loaded: Dict[str, CorpusEntry] = {}
+        os.makedirs(self._entries_dir, exist_ok=True)
+        if os.path.exists(self._index_path):
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema", CORPUS_SCHEMA) != CORPUS_SCHEMA:
+                raise ValueError(
+                    f"corpus at {self.path} has schema {payload.get('schema')}, "
+                    f"expected {CORPUS_SCHEMA}"
+                )
+            self._index = dict(payload.get("entries", {}))
+        else:
+            self._write_index()
+
+    @staticmethod
+    def is_corpus(path: str) -> bool:
+        """Whether ``path`` already holds a corpus (has an index.json)."""
+        return os.path.exists(os.path.join(str(path), "index.json"))
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        trace: PacketTrace,
+        *,
+        scenario_id: str,
+        cca: str = "",
+        objective: str = "",
+        score: Optional[float] = None,
+        generation_found: int = 0,
+        origin: str = "fuzz",
+        campaign: str = "",
+        condition: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Insert a trace; returns True iff it was new (not a duplicate).
+
+        A duplicate bumps the existing entry's ``rediscoveries`` counter and,
+        when the new find scored strictly higher, upgrades the recorded score
+        and best-discovery provenance (``origin`` always keeps recording where
+        the trace *first* came from).  Re-registering a builtin attack is a
+        no-op — the per-campaign bootstrap is idempotent, so ``rediscoveries``
+        only ever counts genuine re-finds by a search.
+        """
+        fingerprint = trace.fingerprint()
+        entry = CorpusEntry(
+            trace=trace.copy(),
+            fingerprint=fingerprint,
+            mode=mode_of_trace(trace),
+            scenario_id=scenario_id,
+            cca=cca,
+            objective=objective,
+            score=score,
+            generation_found=generation_found,
+            origin=origin,
+            campaign=campaign,
+            condition=dict(condition or {}),
+        )
+        with self._lock:
+            existing = self._index.get(fingerprint)
+            if existing is None:
+                self._index[fingerprint] = entry.summary()
+                self._loaded[fingerprint] = entry
+                self._write_entry(entry)
+                self._write_index()
+                return True
+            if origin == "builtin":
+                return False
+            old = self.get(fingerprint)
+            old.rediscoveries += 1
+            # Scores from different objectives (and different network
+            # conditions) live on incomparable scales, so the best-discovery
+            # provenance is only upgraded by a like-for-like rediscovery.
+            comparable = (
+                old.score is None
+                or (old.objective == objective and old.condition == dict(condition or {}))
+            )
+            if score is not None and comparable and (old.score is None or score > old.score):
+                old.score = score
+                old.scenario_id = scenario_id
+                old.cca = cca
+                old.objective = objective
+                old.generation_found = generation_found
+                old.campaign = campaign
+                old.condition = dict(condition or {})
+            self._index[fingerprint] = old.summary()
+            self._write_entry(old)
+            self._write_index()
+            return False
+
+    def _write_entry(self, entry: CorpusEntry) -> None:
+        path = os.path.join(self._entries_dir, f"{entry.fingerprint}.json")
+        atomic_json_dump(entry.to_dict(), path)
+
+    def _write_index(self) -> None:
+        payload = {"schema": CORPUS_SCHEMA, "entries": self._index}
+        atomic_json_dump(payload, self._index_path, indent=1, sort_keys=True)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._index
+
+    def fingerprints(self) -> List[str]:
+        """All fingerprints, sorted for deterministic iteration."""
+        with self._lock:
+            return sorted(self._index)
+
+    def index_rows(self) -> Dict[str, Dict[str, Any]]:
+        """Copy of the index: fingerprint -> summary row (no trace loads)."""
+        with self._lock:
+            return {fingerprint: dict(row) for fingerprint, row in self._index.items()}
+
+    def get(self, fingerprint: str) -> CorpusEntry:
+        with self._lock:
+            entry = self._loaded.get(fingerprint)
+            if entry is None:
+                if fingerprint not in self._index:
+                    raise KeyError(fingerprint)
+                path = os.path.join(self._entries_dir, f"{fingerprint}.json")
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = CorpusEntry.from_dict(json.load(handle))
+                self._loaded[fingerprint] = entry
+            return entry
+
+    def entries(self) -> Iterator[CorpusEntry]:
+        """Every entry, in fingerprint order."""
+        for fingerprint in self.fingerprints():
+            yield self.get(fingerprint)
+
+    def seeds_for(
+        self,
+        mode: str,
+        duration: float,
+        limit: int,
+        objective: Optional[str] = None,
+        bottleneck_rate_mbps: Optional[float] = None,
+    ) -> List[PacketTrace]:
+        """Corpus traces usable as initial-population seeds for a scenario.
+
+        Compatibility means same fuzzing mode and same trace duration (the
+        GA's operators preserve both), and — for link mode — an average rate
+        matching the scenario's bottleneck: a link trace *is* the service
+        curve, so seeding a 12 Mbps search with a 5 Mbps curve would hand the
+        GA the degenerate "just lower the bandwidth" solution that the
+        fixed-packet-budget invariant exists to prevent.  Curated builtins
+        come first, then entries found under the requesting scenario's
+        ``objective`` ordered best-score-first (scores from *different*
+        objectives live on incomparable scales, so cross-objective entries
+        rank after them, score-ignored), tie-broken on the fingerprint so the
+        pick is deterministic.  Selection runs on the index alone; only the
+        winning entries' trace files are read from disk.
+        """
+        if limit <= 0:
+            return []
+
+        def rate_compatible(row: Dict[str, Any]) -> bool:
+            if mode != "link" or bottleneck_rate_mbps is None:
+                return True
+            rate = row.get("average_rate_mbps")
+            return rate is not None and abs(rate - bottleneck_rate_mbps) <= (
+                0.02 * bottleneck_rate_mbps
+            )
+
+        with self._lock:
+            rows = [
+                (fingerprint, row)
+                for fingerprint, row in self._index.items()
+                if row["mode"] == mode
+                and row["duration"] == duration
+                and rate_compatible(row)
+            ]
+
+        def rank(item):
+            fingerprint, row = item
+            if row["origin"] == "builtin":
+                return (0, 0.0, fingerprint)
+            same_objective = objective is None or row["objective"] == objective
+            score = row["score"] if row["score"] is not None else float("-inf")
+            return (1 if same_objective else 2, -score if same_objective else 0.0, fingerprint)
+
+        rows.sort(key=rank)
+        return [self.get(fingerprint).trace.copy() for fingerprint, _ in rows[:limit]]
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate corpus composition (for reports)."""
+        with self._lock:
+            rows = list(self._index.values())
+        by_mode: Dict[str, int] = {}
+        by_cca: Dict[str, int] = {}
+        by_origin: Dict[str, int] = {}
+        for row in rows:
+            by_mode[row["mode"]] = by_mode.get(row["mode"], 0) + 1
+            by_origin[row["origin"]] = by_origin.get(row["origin"], 0) + 1
+            if row["cca"]:
+                by_cca[row["cca"]] = by_cca.get(row["cca"], 0) + 1
+        return {
+            "path": self.path,
+            "entries": len(rows),
+            "by_mode": by_mode,
+            "by_cca": by_cca,
+            "by_origin": by_origin,
+        }

@@ -1,0 +1,274 @@
+"""Campaign execution: run every scenario over one shared evaluation pool.
+
+The runner expands a :class:`CampaignSpec` into its scenario matrix and
+drives each scenario's :class:`CCFuzz` search with
+
+* **one shared** :class:`EvaluationBackend` — a process pool is created once
+  and reused by every scenario instead of being torn down per run, and
+* **one shared, thread-safe** :class:`TraceCache` — a trace already scored
+  against a CCA/config in one scenario is never re-simulated by another.
+
+With ``max_parallel > 1`` scenarios run on coordinator threads that submit
+their generation batches to the shared pool concurrently, so the pool keeps
+working while any one scenario does its (cheap, GIL-bound) GA bookkeeping —
+the worker processes never idle between scenarios.
+
+Each scenario is seeded from the corpus (curated builtin attacks plus the
+best traces earlier scenarios discovered — e.g. winners against Reno seeding
+the CUBIC and BBR searches) and its top-k survivors are harvested back into
+the corpus with full provenance.  Individual scenario results are
+deterministic functions of the injected seeds: serial campaigns (the
+default) are fully reproducible end to end, while parallel campaigns draw
+seeds from the corpus snapshot taken at launch so the schedule's
+interleaving cannot change what any scenario sees.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.fuzzer import CCFuzz
+from ..exec.backend import EvaluationBackend, create_backend
+from ..exec.cache import TraceCache
+from ..scoring.objectives import make_score_function
+from ..tcp.cca import cca_factory
+from ..traces.trace import PacketTrace
+from .corpus import CorpusStore
+from .spec import CampaignSpec, Scenario
+
+ProgressCallback = Callable[[str], None]
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario of the matrix produced."""
+
+    scenario: Scenario
+    best_fitness: float
+    best_fingerprint: str
+    evaluations: int                       #: simulations actually run (cache misses)
+    cache_hits: int
+    seeds_injected: int
+    new_corpus_entries: int
+    converged_generation: int
+    wall_time_s: float
+
+    def summary_row(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.scenario_id,
+            "best_fitness": self.best_fitness,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "seeds": self.seeds_injected,
+            "new_entries": self.new_corpus_entries,
+            "generations": self.converged_generation + 1,
+            "wall_s": round(self.wall_time_s, 2),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole campaign run."""
+
+    spec: CampaignSpec
+    outcomes: List[ScenarioOutcome]
+    corpus_stats: Dict[str, Any]
+    cache_stats: Dict[str, Any]
+    wall_time_s: float = 0.0
+    attacks_registered: int = 0
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        return [outcome.summary_row() for outcome in self.outcomes]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "scenarios": self.summary_rows(),
+            "corpus": dict(self.corpus_stats),
+            "cache": dict(self.cache_stats),
+            "wall_time_s": round(self.wall_time_s, 2),
+            "attacks_registered": self.attacks_registered,
+            "total_evaluations": sum(o.evaluations for o in self.outcomes),
+            "total_cache_hits": sum(o.cache_hits for o in self.outcomes),
+        }
+
+
+class CampaignRunner:
+    """Plans, schedules and records a whole campaign of fuzzing runs."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        corpus: CorpusStore,
+        *,
+        backend: Optional[EvaluationBackend] = None,
+        cache: Optional[TraceCache] = None,
+        max_parallel: int = 1,
+        register_attacks: bool = True,
+        harvest_top_k: int = 3,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if max_parallel < 1:
+            raise ValueError("max_parallel must be at least 1")
+        if harvest_top_k < 1:
+            raise ValueError("harvest_top_k must be at least 1")
+        if max_parallel > 1 and cache is not None and not cache.thread_safe:
+            raise ValueError(
+                "an injected cache must be TraceCache(thread_safe=True) when "
+                "max_parallel > 1 (scenario threads share it)"
+            )
+        self.spec = spec
+        self.corpus = corpus
+        self.max_parallel = max_parallel
+        self.register_attacks = register_attacks
+        self.harvest_top_k = harvest_top_k
+        self._progress = progress or (lambda message: None)
+        self._injected_backend = backend
+        self._injected_cache = cache
+
+    # ------------------------------------------------------------------ #
+    # Corpus bootstrap
+    # ------------------------------------------------------------------ #
+
+    def _register_builtin_attacks(self) -> int:
+        """Insert the hand-crafted attack library as curated corpus entries."""
+        from ..attacks import builtin_attack_traces
+
+        added = 0
+        for name, trace in builtin_attack_traces(self.spec.budget.duration).items():
+            added += self.corpus.add(
+                trace,
+                scenario_id=f"builtin/{name}",
+                origin="builtin",
+                campaign=self.spec.name,
+            )
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Scenario execution
+    # ------------------------------------------------------------------ #
+
+    def _run_scenario(
+        self,
+        scenario: Scenario,
+        backend: EvaluationBackend,
+        cache: Optional[TraceCache],
+        seeds: List[PacketTrace],
+    ) -> ScenarioOutcome:
+        started = time.perf_counter()
+        fuzzer = CCFuzz(
+            cca_factory(scenario.cca),
+            config=scenario.fuzz_config(),
+            score_function=make_score_function(scenario.objective, scenario.mode),
+            seed_traces=seeds,
+            backend=backend,
+            cache=cache,
+        )
+        result = fuzzer.run()
+        new_entries = 0
+        for individual in result.top_individuals(self.harvest_top_k):
+            if not individual.is_evaluated:
+                continue
+            new_entries += self.corpus.add(
+                individual.trace,
+                scenario_id=scenario.scenario_id,
+                cca=scenario.cca,
+                objective=scenario.objective,
+                score=individual.fitness,
+                generation_found=individual.generation_born,
+                origin="fuzz",
+                campaign=self.spec.name,
+                condition=scenario.condition.to_dict(),
+            )
+        outcome = ScenarioOutcome(
+            scenario=scenario,
+            best_fitness=result.best_fitness,
+            best_fingerprint=result.best_trace.fingerprint(),
+            evaluations=result.total_evaluations,
+            cache_hits=result.cache_hits,
+            seeds_injected=len(result.seed_fingerprints),
+            new_corpus_entries=new_entries,
+            converged_generation=result.converged_generation,
+            wall_time_s=time.perf_counter() - started,
+        )
+        self._progress(
+            f"[{scenario.scenario_id}] best={outcome.best_fitness:.4f} "
+            f"evals={outcome.evaluations} hits={outcome.cache_hits} "
+            f"seeds={outcome.seeds_injected} new={outcome.new_corpus_entries} "
+            f"({outcome.wall_time_s:.1f}s)"
+        )
+        return outcome
+
+    def _scenario_seeds(self, scenario: Scenario) -> List[PacketTrace]:
+        return self.corpus.seeds_for(
+            scenario.mode,
+            scenario.budget.duration,
+            self.spec.seed_limit,
+            objective=scenario.objective,
+            bottleneck_rate_mbps=scenario.condition.bottleneck_rate_mbps,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> CampaignResult:
+        """Execute every scenario and return the campaign summary."""
+        started = time.perf_counter()
+        scenarios = self.spec.expand()
+        self._progress(
+            f"campaign {self.spec.name!r}: {len(scenarios)} scenarios "
+            f"({len(self.spec.ccas)} CCAs x {len(self.spec.modes)} modes x "
+            f"{len(self.spec.objectives)} objectives x {len(self.spec.conditions)} conditions)"
+        )
+        attacks_registered = 0
+        if self.register_attacks:
+            attacks_registered = self._register_builtin_attacks()
+            self._progress(f"registered {attacks_registered} builtin attack traces")
+
+        backend = self._injected_backend or create_backend(self.spec.backend, self.spec.workers)
+        owns_backend = self._injected_backend is None
+        cache = self._injected_cache
+        if cache is None:
+            population = self.spec.budget.population_size * self.spec.budget.islands
+            cache = TraceCache(
+                max_entries=max(8192, 8 * population * len(scenarios)),
+                thread_safe=True,
+            )
+        outcomes: List[ScenarioOutcome] = []
+        try:
+            if self.max_parallel == 1:
+                # Serial: later scenarios see (and are seeded by) everything
+                # earlier scenarios put into the corpus.
+                for scenario in scenarios:
+                    seeds = self._scenario_seeds(scenario)
+                    outcomes.append(self._run_scenario(scenario, backend, cache, seeds))
+            else:
+                # Parallel: seeds come from the corpus snapshot at launch so
+                # thread interleaving cannot change any scenario's inputs;
+                # all coordinator threads feed the one shared pool.
+                seed_snapshot = [self._scenario_seeds(scenario) for scenario in scenarios]
+                with ThreadPoolExecutor(
+                    max_workers=min(self.max_parallel, len(scenarios)),
+                    thread_name_prefix="repro-campaign",
+                ) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda pair: self._run_scenario(pair[0], backend, cache, pair[1]),
+                            zip(scenarios, seed_snapshot),
+                        )
+                    )
+        finally:
+            if owns_backend:
+                backend.close()
+        return CampaignResult(
+            spec=self.spec,
+            outcomes=outcomes,
+            corpus_stats=self.corpus.stats(),
+            cache_stats=dict(cache.stats()),
+            wall_time_s=time.perf_counter() - started,
+            attacks_registered=attacks_registered,
+        )

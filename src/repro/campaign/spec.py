@@ -1,0 +1,256 @@
+"""Declarative campaign specifications and scenario-matrix expansion.
+
+A campaign spec is a plain dict (usually loaded from JSON) naming *what* to
+sweep — CCAs, fuzzing modes, objectives and network conditions — plus one GA
+budget shared by every cell.  :meth:`CampaignSpec.expand` takes the cross
+product in a fixed order, so a spec always produces the same scenario list,
+and every scenario derives a stable per-scenario GA seed from the campaign
+seed and its own identity (adding a CCA to a spec never reshuffles the
+randomness of the scenarios that were already there).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core.fuzzer import MODES, FuzzConfig
+from ..netsim.simulation import SimulationConfig
+from ..scoring.objectives import OBJECTIVES
+from ..tcp.cca import CCA_FACTORIES
+
+
+def _require_keys(payload: Dict[str, Any], allowed: Iterable[str], what: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise ValueError(f"unknown {what} keys: {', '.join(unknown)}")
+
+
+@dataclass(frozen=True)
+class NetworkCondition:
+    """One bottleneck configuration of the dumbbell topology."""
+
+    name: str = "base"
+    bottleneck_rate_mbps: float = 12.0
+    queue_capacity: int = 60
+    propagation_delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("condition name must be non-empty")
+        if self.bottleneck_rate_mbps <= 0:
+            raise ValueError("bottleneck_rate_mbps must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "NetworkCondition":
+        _require_keys(payload, cls.__dataclass_fields__, "network condition")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class GaBudget:
+    """The genetic-search budget applied to every scenario of a campaign."""
+
+    population_size: int = 8
+    generations: int = 5
+    islands: int = 1
+    duration: float = 3.0
+    top_k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if self.islands < 1:
+            raise ValueError("islands must be at least 1")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GaBudget":
+        _require_keys(payload, cls.__dataclass_fields__, "GA budget")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the campaign matrix: fuzz ``cca`` in ``mode`` for
+    ``objective`` under ``condition`` with the campaign's GA budget."""
+
+    campaign: str
+    cca: str
+    mode: str
+    objective: str
+    condition: NetworkCondition
+    budget: GaBudget
+    seed: int
+
+    @property
+    def scenario_id(self) -> str:
+        return f"{self.cca}/{self.mode}/{self.objective}/{self.condition.name}"
+
+    def sim_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            duration=self.budget.duration,
+            bottleneck_rate_mbps=self.condition.bottleneck_rate_mbps,
+            queue_capacity=self.condition.queue_capacity,
+            propagation_delay=self.condition.propagation_delay,
+        )
+
+    def fuzz_config(self) -> FuzzConfig:
+        """The :class:`FuzzConfig` for this cell.
+
+        The backend named here is irrelevant when the campaign scheduler
+        injects its shared backend object into :class:`CCFuzz`; it only
+        matters for running a scenario standalone.
+        """
+        return FuzzConfig(
+            mode=self.mode,
+            population_size=self.budget.population_size,
+            generations=self.budget.generations,
+            islands=self.budget.islands,
+            top_k=self.budget.top_k,
+            duration=self.budget.duration,
+            average_rate_mbps=self.condition.bottleneck_rate_mbps,
+            seed=self.seed,
+            sim=self.sim_config(),
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario_id,
+            "cca": self.cca,
+            "mode": self.mode,
+            "objective": self.objective,
+            "condition": self.condition.to_dict(),
+            "seed": self.seed,
+        }
+
+
+def _scenario_seed(campaign_seed: int, scenario_id: str) -> int:
+    """Stable per-scenario GA seed: independent of matrix position."""
+    digest = hashlib.blake2b(
+        f"{campaign_seed}:{scenario_id}".encode("utf-8"), digest_size=4
+    ).hexdigest()
+    return int(digest, 16)
+
+
+@dataclass
+class CampaignSpec:
+    """A full campaign: the axes of the scenario matrix plus shared settings."""
+
+    name: str = "campaign"
+    ccas: List[str] = field(default_factory=lambda: ["reno", "cubic", "bbr"])
+    modes: List[str] = field(default_factory=lambda: ["traffic"])
+    objectives: List[str] = field(default_factory=lambda: ["throughput"])
+    conditions: List[NetworkCondition] = field(default_factory=lambda: [NetworkCondition()])
+    budget: GaBudget = field(default_factory=GaBudget)
+    seed: int = 0
+    backend: str = "serial"
+    workers: Optional[int] = None
+    seed_limit: int = 4                    #: max corpus seeds injected per scenario
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        for axis, values in (("ccas", self.ccas), ("modes", self.modes),
+                             ("objectives", self.objectives), ("conditions", self.conditions)):
+            if not values:
+                raise ValueError(f"campaign {axis} must be non-empty")
+            if len(values) != len(set(getattr(v, "name", v) for v in values)):
+                raise ValueError(f"campaign {axis} contains duplicates")
+        for cca in self.ccas:
+            if cca not in CCA_FACTORIES:
+                known = ", ".join(sorted(CCA_FACTORIES))
+                raise ValueError(f"unknown CCA {cca!r} (known: {known})")
+        for mode in self.modes:
+            if mode not in MODES:
+                raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        for objective in self.objectives:
+            if objective not in OBJECTIVES:
+                raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+        if self.seed_limit < 0:
+            raise ValueError("seed_limit must be non-negative")
+        # Reuse FuzzConfig's backend/worker validation early, before any run.
+        FuzzConfig(backend=self.backend, workers=self.workers)
+
+    # ------------------------------------------------------------------ #
+    # Matrix expansion
+    # ------------------------------------------------------------------ #
+
+    def expand(self) -> List[Scenario]:
+        """The scenario matrix, in deterministic cca-major order."""
+        scenarios: List[Scenario] = []
+        for cca in self.ccas:
+            for mode in self.modes:
+                for objective in self.objectives:
+                    for condition in self.conditions:
+                        scenario_id = f"{cca}/{mode}/{objective}/{condition.name}"
+                        scenarios.append(
+                            Scenario(
+                                campaign=self.name,
+                                cca=cca,
+                                mode=mode,
+                                objective=objective,
+                                condition=condition,
+                                budget=self.budget,
+                                seed=_scenario_seed(self.seed, scenario_id),
+                            )
+                        )
+        return scenarios
+
+    @property
+    def scenario_count(self) -> int:
+        return len(self.ccas) * len(self.modes) * len(self.objectives) * len(self.conditions)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ccas": list(self.ccas),
+            "modes": list(self.modes),
+            "objectives": list(self.objectives),
+            "conditions": [condition.to_dict() for condition in self.conditions],
+            "budget": self.budget.to_dict(),
+            "seed": self.seed,
+            "backend": self.backend,
+            "workers": self.workers,
+            "seed_limit": self.seed_limit,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        _require_keys(payload, cls.__dataclass_fields__, "campaign spec")
+        data = dict(payload)
+        if "conditions" in data:
+            data["conditions"] = [
+                NetworkCondition.from_dict(item) for item in data["conditions"]
+            ]
+        if "budget" in data:
+            data["budget"] = GaBudget.from_dict(data["budget"])
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))

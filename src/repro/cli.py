@@ -1,18 +1,19 @@
 """Command-line interface.
 
-Three entry points are installed with the package:
+Four entry points are installed with the package:
 
 * ``repro-fuzz`` — run the genetic search against a CCA and save the best
   traces found.
 * ``repro-simulate`` — run a single simulation (fixed link, trace file, or a
   built-in attack trace) and print a metrics report.
 * ``repro-trace`` — generate or inspect trace files.
+* ``repro-campaign`` — orchestrate a whole matrix of fuzzing scenarios over
+  a persistent attack corpus (``run``/``replay``/``report``).
 """
 
 from __future__ import annotations
 
 import argparse
-import functools
 import json
 import sys
 from typing import Callable, Dict, List, Optional
@@ -20,38 +21,29 @@ from typing import Callable, Dict, List, Optional
 from .analysis.metrics import compute_metrics
 from .analysis.reporting import ascii_chart, format_generation_progress, format_table
 from .attacks import bbr_stall_traffic_trace, lowrate_attack_trace
+from .campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CorpusStore,
+    format_campaign_report,
+    format_corpus_report,
+    format_replay_report,
+    read_campaign_report,
+    replay_corpus,
+    write_campaign_report,
+)
 from .core.fuzzer import CCFuzz, FuzzConfig
+from .exec.backend import create_backend
 from .netsim.simulation import SimulationConfig, run_simulation
-from .scoring.base import ScoreFunction
-from .scoring.performance import HighDelayScore, HighLossScore, LowUtilizationScore
-from .scoring.trace_score import MinimalTrafficScore
-from .tcp.cca.bbr import Bbr
-from .tcp.cca.cubic import Cubic
-from .tcp.cca.reno import Reno
+from .scoring.objectives import OBJECTIVES, make_score_function
+from .tcp.cca import CCA_FACTORIES
 from .traces.generator import LinkTraceGenerator, TrafficTraceGenerator
 from .traces.trace import LinkTrace, PacketTrace, TrafficTrace
 
 
 def _cca_factories() -> Dict[str, Callable]:
-    # partial() rather than lambda: factories must be picklable so the
-    # process evaluation backend can ship them to worker processes.
-    return {
-        "reno": Reno,
-        "cubic": Cubic,
-        "cubic-ns3bug": functools.partial(Cubic, ns3_slow_start_bug=True),
-        "bbr": Bbr,
-        "bbr-fixed": functools.partial(Bbr, probe_rtt_on_rto=True),
-    }
-
-
-def _make_score_function(objective: str, mode: str) -> ScoreFunction:
-    performance = {
-        "throughput": LowUtilizationScore(),
-        "delay": HighDelayScore(),
-        "loss": HighLossScore(),
-    }[objective]
-    trace_score = MinimalTrafficScore() if mode == "traffic" else None
-    return ScoreFunction(performance=performance, trace=trace_score, trace_weight=1e-3)
+    """The shared CCA-variant registry (kept as a function for back-compat)."""
+    return dict(CCA_FACTORIES)
 
 
 # --------------------------------------------------------------------------- #
@@ -65,9 +57,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-fuzz",
         description="Genetic-algorithm stress testing of congestion control algorithms (CC-Fuzz).",
     )
-    parser.add_argument("--cca", choices=sorted(_cca_factories()), default="bbr")
+    parser.add_argument("--cca", choices=sorted(CCA_FACTORIES), default="bbr")
     parser.add_argument("--mode", choices=["link", "traffic", "loss"], default="traffic")
-    parser.add_argument("--objective", choices=["throughput", "delay", "loss"], default="throughput")
+    parser.add_argument("--objective", choices=sorted(OBJECTIVES), default="throughput")
     parser.add_argument("--population", type=int, default=16, help="traces per island")
     parser.add_argument("--islands", type=int, default=1)
     parser.add_argument("--generations", type=int, default=10)
@@ -75,6 +67,12 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--annealing-sigma", type=float, default=None)
     parser.add_argument("--output", type=str, default=None, help="write the best trace as JSON")
+    parser.add_argument(
+        "--output-dir",
+        type=str,
+        default=None,
+        help="dump the full top-k with provenance metadata as a corpus directory",
+    )
     parser.add_argument("--top", type=int, default=5, help="how many best traces to report")
     parser.add_argument(
         "--backend",
@@ -110,9 +108,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         use_cache=not args.no_cache,
     )
     fuzzer = CCFuzz(
-        _cca_factories()[args.cca],
+        CCA_FACTORIES[args.cca],
         config=config,
-        score_function=_make_score_function(args.objective, args.mode),
+        score_function=make_score_function(args.objective, args.mode),
     )
 
     def report_progress(stats) -> None:
@@ -153,6 +151,33 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(result.best_trace.to_json())
         print(f"\nbest trace written to {args.output}")
+
+    if args.output_dir:
+        store = CorpusStore(args.output_dir)
+        sim = config.sim
+        condition = {
+            "bottleneck_rate_mbps": sim.bottleneck_rate_mbps,
+            "queue_capacity": sim.queue_capacity,
+            "propagation_delay": sim.propagation_delay,
+        }
+        added = 0
+        for individual in result.top_individuals(args.top):
+            if not individual.is_evaluated:
+                continue
+            added += store.add(
+                individual.trace,
+                scenario_id=f"cli/{args.cca}/{args.mode}/{args.objective}",
+                cca=args.cca,
+                objective=args.objective,
+                score=individual.fitness,
+                generation_found=individual.generation_born,
+                origin="fuzz",
+                condition=condition,
+            )
+        print(
+            f"top-{args.top} written to corpus {args.output_dir} "
+            f"({added} new, {len(store)} total entries)"
+        )
     return 0
 
 
@@ -167,7 +192,7 @@ def simulate_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-simulate",
         description="Run one CCA through the dumbbell bottleneck and report metrics.",
     )
-    parser.add_argument("--cca", choices=sorted(_cca_factories()), default="bbr")
+    parser.add_argument("--cca", choices=sorted(CCA_FACTORIES), default="bbr")
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--rate-mbps", type=float, default=12.0)
     parser.add_argument("--queue", type=int, default=60, help="gateway queue capacity in packets")
@@ -180,6 +205,8 @@ def simulate_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--plot", action="store_true", help="print an ASCII throughput chart")
     args = parser.parse_args(argv)
+    if args.trace and args.attack != "none":
+        parser.error("--trace and --attack are mutually exclusive; pick one input")
 
     config = SimulationConfig(
         duration=args.duration,
@@ -202,7 +229,7 @@ def simulate_main(argv: Optional[List[str]] = None) -> int:
         cross_times = bbr_stall_traffic_trace(duration=args.duration).timestamps
 
     result = run_simulation(
-        _cca_factories()[args.cca],
+        CCA_FACTORIES[args.cca],
         config,
         link_trace=link_trace,
         cross_traffic_times=cross_times,
@@ -274,6 +301,122 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     print(f"average rate: {trace.average_rate_mbps:.3f} Mbps")
     print()
     print(ascii_chart(trace.windowed_rates_mbps(args.window), title="windowed rate", y_label="Mbps"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-campaign
+# --------------------------------------------------------------------------- #
+
+
+def campaign_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-campaign``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description=(
+            "Orchestrate a matrix of fuzzing scenarios (CCAs x modes x objectives x "
+            "network conditions) over a persistent, deduplicated attack corpus."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a campaign spec and grow the corpus")
+    run_parser.add_argument("--spec", type=str, required=True, help="campaign spec JSON file")
+    run_parser.add_argument("--corpus", type=str, required=True, help="corpus directory")
+    run_parser.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default=None,
+        help="override the spec's evaluation backend",
+    )
+    run_parser.add_argument("--workers", type=int, default=None, help="override the spec's pool size")
+    run_parser.add_argument(
+        "--max-parallel", type=int, default=1,
+        help="scenarios run concurrently over the shared backend (1 = fully reproducible serial order)",
+    )
+    run_parser.add_argument(
+        "--no-attacks", action="store_true",
+        help="do not register the builtin attack library as initial corpus entries",
+    )
+    run_parser.add_argument(
+        "--harvest-top-k", type=int, default=3,
+        help="how many top traces per scenario to store in the corpus",
+    )
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="re-simulate the whole corpus against one CCA and report score deltas"
+    )
+    replay_parser.add_argument("--corpus", type=str, required=True)
+    replay_parser.add_argument("--cca", choices=sorted(CCA_FACTORIES), required=True)
+    replay_parser.add_argument("--mode", choices=["link", "traffic", "loss"], default=None)
+    replay_parser.add_argument("--backend", choices=["serial", "thread", "process"], default="serial")
+    replay_parser.add_argument("--workers", type=int, default=None)
+    replay_parser.add_argument("--output", type=str, default=None, help="write the replay report as JSON")
+
+    report_parser = subparsers.add_parser("report", help="summarise a corpus directory")
+    report_parser.add_argument("--corpus", type=str, required=True)
+    report_parser.add_argument("--top", type=int, default=10, help="scored entries to list")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = CampaignSpec.from_json(handle.read())
+        if args.backend is not None:
+            spec.backend = args.backend
+        if args.workers is not None:
+            if args.workers < 1:
+                parser.error("--workers must be at least 1")
+            spec.workers = args.workers
+        if args.max_parallel < 1:
+            parser.error("--max-parallel must be at least 1")
+        if args.harvest_top_k < 1:
+            parser.error("--harvest-top-k must be at least 1")
+        corpus = CorpusStore(args.corpus)
+        runner = CampaignRunner(
+            spec,
+            corpus,
+            max_parallel=args.max_parallel,
+            register_attacks=not args.no_attacks,
+            harvest_top_k=args.harvest_top_k,
+            progress=print,
+        )
+        result = runner.run()
+        print()
+        print(format_campaign_report(result))
+        report_path = write_campaign_report(result, args.corpus)
+        print(f"\ncampaign report written to {report_path}")
+        return 0
+
+    # replay/report read an existing corpus; creating an empty one on a
+    # mistyped path would silently "succeed" with zero entries.
+    if not CorpusStore.is_corpus(args.corpus):
+        parser.error(f"no corpus at {args.corpus} (missing index.json)")
+
+    if args.command == "replay":
+        corpus = CorpusStore(args.corpus)
+        if args.workers is not None and args.workers < 1:
+            parser.error("--workers must be at least 1")
+        backend = create_backend(args.backend, args.workers)
+        try:
+            report = replay_corpus(corpus, args.cca, backend=backend, mode=args.mode)
+        finally:
+            backend.close()
+        print(format_replay_report(report))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+            print(f"\nreplay report written to {args.output}")
+        return 0
+
+    corpus = CorpusStore(args.corpus)
+    print(format_corpus_report(corpus, top=args.top))
+    last_run = read_campaign_report(args.corpus)
+    if last_run is not None:
+        print(
+            f"\nlast campaign: {last_run['spec']['name']!r} — "
+            f"{len(last_run['scenarios'])} scenarios, "
+            f"{last_run['total_evaluations']} simulations, "
+            f"{last_run['wall_time_s']}s"
+        )
     return 0
 
 

@@ -193,6 +193,7 @@ class CCFuzz:
         self.rng = random.Random(self.config.seed)
         self.total_evaluations = 0
         self.cache_hits = 0
+        self._injected_seed_fingerprints: List[str] = []
         self._selection = RankSelection(self.rng)
         # An injected backend/cache overrides the config; an injected backend
         # is owned by the caller and is not closed after run().
@@ -427,6 +428,7 @@ class CCFuzz:
         cfg = self.config
         islands: List[Population] = []
         seed_pool = [trace.copy() for trace in self.seed_traces]
+        self._injected_seed_fingerprints = []
         base_seed = self.rng.randrange(2**31)
         for island_index in range(cfg.islands):
             generator = self._make_generator(seed=base_seed + island_index)
@@ -435,6 +437,7 @@ class CCFuzz:
             for seed_index, trace in enumerate(seed_pool):
                 if seed_index % cfg.islands == island_index and len(individuals) < cfg.population_size:
                     individuals.append(Individual(trace=trace.copy(), origin="seed"))
+                    self._injected_seed_fingerprints.append(trace.fingerprint())
             while len(individuals) < cfg.population_size:
                 individuals.append(Individual(trace=generator.generate(), origin="initial"))
             islands.append(Population(individuals))
@@ -513,4 +516,5 @@ class CCFuzz:
             converged_generation=generation,
             cache_hits=sum(stats.cache_hits for stats in history),
             cache_stats=dict(self.cache.stats()) if self.cache is not None else {},
+            seed_fingerprints=list(self._injected_seed_fingerprints),
         )

@@ -41,6 +41,9 @@ class FuzzResult:
     cache_hits: int = 0                    #: this run's evaluations served from the cache
     #: Cache-lifetime counters; spans multiple runs when a cache is shared.
     cache_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Fingerprints of the injected seed traces that made it into the initial
+    #: population (corpus seeding provenance; empty for unseeded runs).
+    seed_fingerprints: List[str] = field(default_factory=list)
 
     @property
     def best_trace(self) -> PacketTrace:
@@ -80,4 +83,5 @@ class FuzzResult:
             "best_fitness": self.best_fitness,
             "best_origin": self.best_individual.origin,
             "best_result": dict(self.best_individual.result_summary),
+            "seed_traces": len(self.seed_fingerprints),
         }

@@ -26,6 +26,7 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
@@ -80,13 +81,17 @@ class ThreadBackend(EvaluationBackend):
             raise ValueError("workers must be at least 1")
         self.workers = workers or _default_workers()
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._init_lock = threading.Lock()
 
     def _pool(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-eval"
-            )
-        return self._executor
+        # Guarded: campaign coordinator threads share one backend and may
+        # race to trigger the lazy pool creation.
+        with self._init_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-eval"
+                )
+            return self._executor
 
     def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
         if not jobs:
@@ -124,11 +129,16 @@ class ProcessPoolBackend(EvaluationBackend):
         self.chunk_size = chunk_size
         self._context = multiprocessing.get_context(mp_context)
         self._pool_instance: Optional[multiprocessing.pool.Pool] = None
+        self._init_lock = threading.Lock()
 
     def _pool(self) -> "multiprocessing.pool.Pool":
-        if self._pool_instance is None:
-            self._pool_instance = self._context.Pool(processes=self.workers)
-        return self._pool_instance
+        # Guarded: campaign coordinator threads share one backend and may
+        # race to trigger the lazy pool creation.  Pool.map itself is
+        # thread-safe, so concurrent batches then interleave freely.
+        with self._init_lock:
+            if self._pool_instance is None:
+                self._pool_instance = self._context.Pool(processes=self.workers)
+            return self._pool_instance
 
     def _chunk_size(self, batch_size: int) -> int:
         if self.chunk_size is not None:

@@ -16,7 +16,9 @@ configs or scoring objectives without collisions.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -52,12 +54,19 @@ class TraceCache:
     satisfy a lookup from work already in flight (an in-batch duplicate)
     should call :meth:`record_coalesced_hit` so the hit rate reflects every
     avoided simulation.
+
+    ``thread_safe=True`` serialises every operation behind an ``RLock`` so
+    one cache can be shared by several fuzzing runs executing concurrently
+    (the campaign scheduler interleaves scenarios this way); the default
+    lock-free mode keeps single-run lookups overhead-free.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(self, max_entries: Optional[int] = None, thread_safe: bool = False) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive (or None for unbounded)")
         self.max_entries = max_entries
+        self.thread_safe = thread_safe
+        self._lock = threading.RLock() if thread_safe else contextlib.nullcontext()
         self._entries: "OrderedDict[CacheKey, CachedOutcome]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -84,26 +93,29 @@ class TraceCache:
 
     def get(self, key: CacheKey) -> Optional[CachedOutcome]:
         """Return the cached outcome, counting the hit or miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key)
-        score, summary = entry
-        return score, dict(summary)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            score, summary = entry
+            return score, dict(summary)
 
     def put(self, key: CacheKey, score: Score, summary: Dict[str, Any]) -> None:
-        self._entries[key] = (score, dict(summary))
-        self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        with self._lock:
+            self._entries[key] = (score, dict(summary))
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
 
     def record_coalesced_hit(self) -> None:
         """Count a lookup satisfied by an identical evaluation already in flight."""
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -127,13 +139,15 @@ class TraceCache:
         return self.hits / self.lookups
 
     def stats(self) -> Dict[str, Any]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4),
+            }
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

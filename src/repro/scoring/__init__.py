@@ -1,6 +1,7 @@
 """Scoring functions: performance scores, trace scores and realism scoring."""
 
 from .base import PerformanceScore, Score, ScoreFunction, TraceScore
+from .objectives import OBJECTIVES, make_score_function
 from .performance import (
     CompositeScore,
     HighDelayScore,
@@ -21,6 +22,7 @@ __all__ = [
     "LowUtilizationScore",
     "MinimalTrafficScore",
     "NullTraceScore",
+    "OBJECTIVES",
     "PerformanceScore",
     "RealismReport",
     "RealismScorer",
@@ -33,6 +35,7 @@ __all__ = [
     "WholeRunThroughputScore",
     "bottom_fraction_mean",
     "default_reference_panel",
+    "make_score_function",
     "percentile",
     "top_fraction_mean",
     "windowed_throughput_mbps",

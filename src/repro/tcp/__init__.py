@@ -1,5 +1,6 @@
 """TCP substrate: sender, receiver and congestion-control algorithms."""
 
+from .cca import CCA_FACTORIES, CCA_REGISTRY, cca_factory
 from .cca.base import AckEvent, CongestionControl
 from .cca.bbr import Bbr
 from .cca.cubic import Cubic
@@ -13,6 +14,8 @@ from .sender import SenderStats, TcpSender
 __all__ = [
     "AckEvent",
     "Bbr",
+    "CCA_FACTORIES",
+    "CCA_REGISTRY",
     "CongestionControl",
     "Cubic",
     "DeliveryRateEstimator",
@@ -25,4 +28,5 @@ __all__ = [
     "SenderStats",
     "TcpReceiver",
     "TcpSender",
+    "cca_factory",
 ]
