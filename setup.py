@@ -23,6 +23,7 @@ setup(
             "repro-simulate = repro.cli:simulate_main",
             "repro-trace = repro.cli:trace_main",
             "repro-campaign = repro.cli:campaign_main",
+            "repro-triage = repro.cli:triage_main",
         ]
     },
 )

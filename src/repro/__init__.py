@@ -53,6 +53,7 @@ from .traces import (
     TrafficTraceGenerator,
     dist_packets,
 )
+from .triage import TriageConfig, TriageReport, triage_corpus, triage_trace
 
 __version__ = "1.0.0"
 
@@ -90,6 +91,8 @@ __all__ = [
     "TraceCache",
     "TrafficTrace",
     "TrafficTraceGenerator",
+    "TriageConfig",
+    "TriageReport",
     "bbr_bug_evidence",
     "bbr_stall_traffic_trace",
     "builtin_attack_traces",
@@ -99,5 +102,7 @@ __all__ = [
     "lowrate_attack_trace",
     "replay_corpus",
     "run_simulation",
+    "triage_corpus",
+    "triage_trace",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from .reporting import (
     format_comparison,
     format_generation_progress,
     format_table,
+    format_triage_report,
 )
 from .timeline import (
     BbrBugEvidence,
@@ -40,6 +41,7 @@ __all__ = [
     "format_comparison",
     "format_generation_progress",
     "format_table",
+    "format_triage_report",
     "goodput_mbps",
     "longest_delivery_gap",
     "max_queue_depth",

@@ -113,6 +113,58 @@ def format_campaign_summary(
     return "\n\n".join(sections)
 
 
+def format_triage_report(report: Dict[str, object]) -> str:
+    """Human-readable triage verdict (takes ``TriageReport.to_dict()``).
+
+    Renders the three engine sections that are present and skips the ones
+    the pipeline was run without.
+    """
+    header = (
+        f"triage of {str(report.get('fingerprint', ''))[:12]} "
+        f"({report.get('mode', '?')} trace, cca={report.get('cca', '?')}, "
+        f"objective={report.get('objective', '?')}): "
+        f"baseline score {float(report.get('baseline_score', 0.0)):.4f}"
+    )
+    sections: List[str] = [header]
+
+    minimization = report.get("minimization")
+    if isinstance(minimization, dict):
+        sections.append(
+            "minimization: "
+            f"{minimization['events_before']} -> {minimization['events_after']} events "
+            f"(score {float(minimization['minimized_score']):.4f}, "
+            f"retained {float(minimization['achieved_retention']):.1%} "
+            f">= bound {float(minimization['retention_bound']):.0%}, "
+            f"{minimization['evaluations']} evaluations)"
+        )
+
+    robustness = report.get("robustness")
+    if isinstance(robustness, dict):
+        rows = [
+            {
+                "dimension": dimension,
+                "held": f"{stats['held']}/{stats['total']}",
+                "worst_cell": stats["worst_label"],
+                "worst_retention": stats["worst_retention"],
+            }
+            for dimension, stats in robustness["by_dimension"].items()
+        ]
+        sections.append(
+            f"robustness: {float(robustness['robustness_score']):.1%} of the "
+            f"perturbation matrix held (retention bound "
+            f"{float(robustness['retention_bound']):.0%})\n" + format_table(rows)
+        )
+
+    differential = report.get("differential")
+    if isinstance(differential, dict):
+        sections.append(
+            f"differential: {differential['classification']} "
+            f"(most vulnerable: {differential['most_vulnerable']})\n"
+            + format_table(differential["rows"])
+        )
+    return "\n\n".join(sections)
+
+
 def format_generation_progress(generations: Sequence[object]) -> str:
     """Table of per-generation GA statistics (works with GenerationStats)."""
     rows = []

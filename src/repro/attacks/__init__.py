@@ -9,6 +9,7 @@ from .bbr_stall import (
     bbr_stall_link_trace,
     bbr_stall_traffic_trace,
 )
+from .cubic_burst import cubic_two_burst_trace
 from .fault_injection import TargetedLoss, lose_segment_and_retransmission
 from .lowrate import attack_rate_mbps, lowrate_attack_times, lowrate_attack_trace
 
@@ -22,6 +23,7 @@ def builtin_attack_traces(duration: float, mss_bytes: int = 1500) -> Dict[str, P
     """
     return {
         "lowrate": lowrate_attack_trace(duration=duration, mss_bytes=mss_bytes),
+        "cubic-two-burst": cubic_two_burst_trace(duration=duration, mss_bytes=mss_bytes),
         "bbr-stall": bbr_stall_traffic_trace(duration=duration, mss_bytes=mss_bytes),
         "bbr-double-loss": bbr_double_loss_burst_trace(duration=duration, mss_bytes=mss_bytes),
         "bbr-delay": bbr_delay_attack_trace(duration=duration, mss_bytes=mss_bytes),
@@ -37,6 +39,7 @@ __all__ = [
     "bbr_stall_link_trace",
     "bbr_stall_traffic_trace",
     "builtin_attack_traces",
+    "cubic_two_burst_trace",
     "lose_segment_and_retransmission",
     "lowrate_attack_times",
     "lowrate_attack_trace",

@@ -67,14 +67,33 @@ class CorpusEntry:
     objective: str
     score: Optional[float]                 #: fitness when found (None for builtins)
     generation_found: int = 0
-    origin: str = "fuzz"                   #: "fuzz", "builtin" or "import"
+    origin: str = "fuzz"                   #: "fuzz", "builtin", "import" or "triage"
     campaign: str = ""
     condition: Dict[str, Any] = field(default_factory=dict)
     rediscoveries: int = 0                 #: times the same trace was re-found
+    derived_from: str = ""                 #: fingerprint this entry was distilled from
+    triage: Dict[str, Any] = field(default_factory=dict)  #: minimization/robustness metadata
 
     @property
     def duration(self) -> float:
         return self.trace.duration
+
+    def sim_config(self):
+        """The simulation configuration this entry was discovered under.
+
+        Falls back to simulator defaults for fields the provenance does not
+        record (e.g. imported traces); used by replay and triage so an entry
+        is always re-scored like-for-like.
+        """
+        from ..netsim.simulation import SimulationConfig
+
+        condition = self.condition or {}
+        return SimulationConfig(
+            duration=self.trace.duration,
+            bottleneck_rate_mbps=condition.get("bottleneck_rate_mbps", 12.0),
+            queue_capacity=condition.get("queue_capacity", 60),
+            propagation_delay=condition.get("propagation_delay", 0.02),
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -89,6 +108,8 @@ class CorpusEntry:
             "campaign": self.campaign,
             "condition": dict(self.condition),
             "rediscoveries": self.rediscoveries,
+            "derived_from": self.derived_from,
+            "triage": dict(self.triage),
             "trace": self.trace.to_dict(),
         }
 
@@ -108,6 +129,8 @@ class CorpusEntry:
             campaign=payload.get("campaign", ""),
             condition=dict(payload.get("condition", {})),
             rediscoveries=int(payload.get("rediscoveries", 0)),
+            derived_from=payload.get("derived_from", ""),
+            triage=dict(payload.get("triage", {})),
         )
 
     def summary(self) -> Dict[str, Any]:
@@ -124,6 +147,8 @@ class CorpusEntry:
             "average_rate_mbps": self.trace.average_rate_mbps,
             "generation_found": self.generation_found,
             "rediscoveries": self.rediscoveries,
+            "derived_from": self.derived_from,
+            "triaged": bool(self.triage),
         }
 
 
@@ -176,15 +201,17 @@ class CorpusStore:
         origin: str = "fuzz",
         campaign: str = "",
         condition: Optional[Dict[str, Any]] = None,
+        derived_from: str = "",
+        triage: Optional[Dict[str, Any]] = None,
     ) -> bool:
         """Insert a trace; returns True iff it was new (not a duplicate).
 
         A duplicate bumps the existing entry's ``rediscoveries`` counter and,
         when the new find scored strictly higher, upgrades the recorded score
         and best-discovery provenance (``origin`` always keeps recording where
-        the trace *first* came from).  Re-registering a builtin attack is a
-        no-op — the per-campaign bootstrap is idempotent, so ``rediscoveries``
-        only ever counts genuine re-finds by a search.
+        the trace *first* came from).  Re-registering a builtin attack or a
+        triage-minimized variant is a no-op — both bootstraps are idempotent,
+        so ``rediscoveries`` only ever counts genuine re-finds by a search.
         """
         fingerprint = trace.fingerprint()
         entry = CorpusEntry(
@@ -199,6 +226,8 @@ class CorpusStore:
             origin=origin,
             campaign=campaign,
             condition=dict(condition or {}),
+            derived_from=derived_from,
+            triage=dict(triage or {}),
         )
         with self._lock:
             existing = self._index.get(fingerprint)
@@ -208,7 +237,7 @@ class CorpusStore:
                 self._write_entry(entry)
                 self._write_index()
                 return True
-            if origin == "builtin":
+            if origin in ("builtin", "triage"):
                 return False
             old = self.get(fingerprint)
             old.rediscoveries += 1
@@ -231,6 +260,23 @@ class CorpusStore:
             self._write_entry(old)
             self._write_index()
             return False
+
+    def annotate_triage(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Attach triage metadata to an existing entry and persist it.
+
+        The verdict is *replaced*, not merged: it describes one triage run,
+        and keeping keys from an earlier run (e.g. a classification computed
+        before a forced re-triage with different settings) would present two
+        inconsistent runs as one result.  A non-empty ``triage`` dict is
+        also what marks an entry as already triaged, making corpus triage
+        idempotent across runs.
+        """
+        with self._lock:
+            entry = self.get(fingerprint)
+            entry.triage = dict(payload)
+            self._index[fingerprint] = entry.summary()
+            self._write_entry(entry)
+            self._write_index()
 
     def _write_entry(self, entry: CorpusEntry) -> None:
         path = os.path.join(self._entries_dir, f"{entry.fingerprint}.json")

@@ -19,10 +19,9 @@ from typing import Any, Dict, List, Optional
 
 from ..exec.backend import EvaluationBackend, SerialBackend
 from ..exec.workers import EvaluationJob
-from ..netsim.simulation import SimulationConfig
 from ..scoring.objectives import make_score_function
 from ..tcp.cca import cca_factory
-from .corpus import CorpusEntry, CorpusStore
+from .corpus import CorpusStore
 
 #: Objective assumed for entries that carry none (builtin attacks).
 DEFAULT_OBJECTIVE = "throughput"
@@ -102,16 +101,6 @@ class ReplayReport:
         }
 
 
-def _entry_sim_config(entry: CorpusEntry) -> SimulationConfig:
-    condition = entry.condition or {}
-    return SimulationConfig(
-        duration=entry.trace.duration,
-        bottleneck_rate_mbps=condition.get("bottleneck_rate_mbps", 12.0),
-        queue_capacity=condition.get("queue_capacity", 60),
-        propagation_delay=condition.get("propagation_delay", 0.02),
-    )
-
-
 def replay_corpus(
     corpus: CorpusStore,
     cca: str,
@@ -136,7 +125,7 @@ def replay_corpus(
     jobs = [
         EvaluationJob(
             factory,
-            _entry_sim_config(entry),
+            entry.sim_config(),
             entry.trace,
             make_score_function(entry.objective or DEFAULT_OBJECTIVE, entry.mode),
         )

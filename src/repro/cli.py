@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points are installed with the package:
+Five entry points are installed with the package:
 
 * ``repro-fuzz`` — run the genetic search against a CCA and save the best
   traces found.
@@ -8,7 +8,9 @@ Four entry points are installed with the package:
   built-in attack trace) and print a metrics report.
 * ``repro-trace`` — generate or inspect trace files.
 * ``repro-campaign`` — orchestrate a whole matrix of fuzzing scenarios over
-  a persistent attack corpus (``run``/``replay``/``report``).
+  a persistent attack corpus (``run``/``replay``/``report``/``triage``).
+* ``repro-triage`` — minimize, robustness-validate and differentially
+  compare one attack trace (a file, a builtin attack, or a corpus entry).
 """
 
 from __future__ import annotations
@@ -19,8 +21,13 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from .analysis.metrics import compute_metrics
-from .analysis.reporting import ascii_chart, format_generation_progress, format_table
-from .attacks import bbr_stall_traffic_trace, lowrate_attack_trace
+from .analysis.reporting import (
+    ascii_chart,
+    format_generation_progress,
+    format_table,
+    format_triage_report,
+)
+from .attacks import bbr_stall_traffic_trace, builtin_attack_traces, lowrate_attack_trace
 from .campaign import (
     CampaignRunner,
     CampaignSpec,
@@ -39,6 +46,14 @@ from .scoring.objectives import OBJECTIVES, make_score_function
 from .tcp.cca import CCA_FACTORIES
 from .traces.generator import LinkTraceGenerator, TrafficTraceGenerator
 from .traces.trace import LinkTrace, PacketTrace, TrafficTrace
+from .triage import (
+    DifferentialConfig,
+    MinimizeConfig,
+    RobustnessConfig,
+    TriageConfig,
+    triage_corpus,
+    triage_trace,
+)
 
 
 def _cca_factories() -> Dict[str, Callable]:
@@ -305,6 +320,177 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro-triage
+# --------------------------------------------------------------------------- #
+
+
+def _triage_config(args: argparse.Namespace) -> TriageConfig:
+    """Build the pipeline configuration shared by both triage CLIs."""
+    return TriageConfig(
+        minimize=MinimizeConfig(
+            retention=args.retention, max_evaluations=args.max_evaluations
+        ),
+        robustness=RobustnessConfig(),
+        differential=DifferentialConfig(),
+        run_minimize=not args.skip_minimize,
+        run_robustness=not args.skip_robustness,
+        run_differential=not args.skip_differential,
+    )
+
+
+def _add_triage_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retention", type=float, default=0.9,
+        help="fraction of the attack score the minimized trace must keep",
+    )
+    parser.add_argument(
+        "--max-evaluations", type=int, default=400,
+        help="candidate-evaluation budget for one trace's minimization "
+             "(charged before cache hits, so results never depend on cache warmth)",
+    )
+    parser.add_argument("--skip-minimize", action="store_true",
+                        help="skip the delta-debugging minimizer")
+    parser.add_argument("--skip-robustness", action="store_true",
+                        help="skip the perturbation-matrix validation")
+    parser.add_argument("--skip-differential", action="store_true",
+                        help="skip the cross-CCA comparison")
+    parser.add_argument("--backend", choices=["serial", "thread", "process"], default="serial")
+    parser.add_argument("--workers", type=int, default=None)
+
+
+def triage_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-triage``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-triage",
+        description=(
+            "Post-fuzzing attack triage: minimize a trace while preserving its "
+            "attack score, validate it across a perturbation matrix, and compare "
+            "its effect across every registered CCA."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", type=str, help="JSON trace file to triage")
+    source.add_argument(
+        "--attack",
+        choices=sorted(builtin_attack_traces(1.0)),
+        help="triage a builtin attack trace instead of a file",
+    )
+    source.add_argument("--corpus", type=str,
+                        help="corpus directory; pick the entry with --fingerprint")
+    parser.add_argument("--fingerprint", type=str, default=None,
+                        help="fingerprint (a unique prefix is enough) of the "
+                             "corpus entry to triage")
+    parser.add_argument("--cca", choices=sorted(CCA_FACTORIES), default=None,
+                        help="CCA the attack targets (default: the corpus entry's "
+                             "discovery CCA, else reno)")
+    parser.add_argument("--objective", choices=sorted(OBJECTIVES), default=None,
+                        help="scoring objective (default: the corpus entry's, "
+                             "else throughput)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="trace duration for --attack (default 6.0; "
+                             "--trace/--corpus traces carry their own)")
+    parser.add_argument("--rate-mbps", type=float, default=None,
+                        help="bottleneck rate (default 12.0; a --corpus entry "
+                             "replays under its recorded condition)")
+    parser.add_argument("--queue", type=int, default=None,
+                        help="queue capacity (default 60; a --corpus entry "
+                             "replays under its recorded condition)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="write the full triage report as JSON")
+    parser.add_argument("--output-trace", type=str, default=None,
+                        help="write the minimized trace as JSON")
+    _add_triage_options(parser)
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.output_trace and args.skip_minimize:
+        parser.error("--output-trace needs the minimizer; drop --skip-minimize")
+    if args.fingerprint and not args.corpus:
+        parser.error("--fingerprint only makes sense with --corpus")
+    # Flags that would be silently overridden are rejected, not ignored: a
+    # corpus entry replays under its recorded network condition, and file
+    # traces carry their own duration.
+    if args.corpus and (args.rate_mbps is not None or args.queue is not None):
+        parser.error("--rate-mbps/--queue conflict with --corpus "
+                     "(the entry's recorded condition is used)")
+    if args.duration is not None and not args.attack:
+        parser.error("--duration only applies to --attack traces")
+
+    cca = args.cca or "reno"
+    objective = args.objective or "throughput"
+    sim_config = None
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = PacketTrace.from_json(handle.read())
+    elif args.corpus:
+        if not args.fingerprint:
+            parser.error("--corpus needs --fingerprint to pick an entry")
+        if not CorpusStore.is_corpus(args.corpus):
+            parser.error(f"no corpus at {args.corpus} (missing index.json)")
+        store = CorpusStore(args.corpus)
+        matches = [fp for fp in store.fingerprints() if fp.startswith(args.fingerprint)]
+        if len(matches) != 1:
+            parser.error(
+                f"fingerprint {args.fingerprint!r} matches {len(matches)} corpus entries"
+            )
+        entry = store.get(matches[0])
+        trace = entry.trace
+        # The entry's provenance wins over the generic sim flags: triage it
+        # under the conditions (and against the CCA) it was discovered with.
+        sim_config = entry.sim_config()
+        cca = args.cca or entry.cca or "reno"
+        objective = args.objective or entry.objective or "throughput"
+    else:
+        trace = builtin_attack_traces(args.duration if args.duration is not None else 6.0)[
+            args.attack
+        ]
+    if type(trace) is PacketTrace:
+        parser.error(
+            "trace has no concrete type (LinkTrace/TrafficTrace/LossTrace); "
+            're-export it with a "type" field'
+        )
+    if isinstance(trace, LinkTrace) and args.rate_mbps is not None:
+        parser.error(
+            "--rate-mbps conflicts with a link trace (the trace itself is the "
+            "service curve and fixes the bandwidth)"
+        )
+
+    if sim_config is None:
+        sim_config = SimulationConfig(
+            duration=trace.duration,
+            bottleneck_rate_mbps=args.rate_mbps if args.rate_mbps is not None else 12.0,
+            queue_capacity=args.queue if args.queue is not None else 60,
+        )
+    backend = create_backend(args.backend, args.workers)
+    try:
+        report = triage_trace(
+            trace,
+            cca=cca,
+            objective=objective,
+            sim_config=sim_config,
+            backend=backend,
+            config=_triage_config(args),
+        )
+    finally:
+        backend.close()
+
+    print(format_triage_report(report.to_dict()))
+    print(
+        f"\n{report.simulations} simulations "
+        f"(+{report.cache_hits} cache hits) in {report.wall_time_s:.1f}s"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
+        print(f"triage report written to {args.output}")
+    if args.output_trace:
+        with open(args.output_trace, "w", encoding="utf-8") as handle:
+            handle.write(report.triaged_trace.to_json())
+        print(f"minimized trace written to {args.output_trace}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # repro-campaign
 # --------------------------------------------------------------------------- #
 
@@ -355,6 +541,27 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     report_parser.add_argument("--corpus", type=str, required=True)
     report_parser.add_argument("--top", type=int, default=10, help="scored entries to list")
 
+    triage_parser = subparsers.add_parser(
+        "triage",
+        help=(
+            "triage every untriaged corpus entry in place: store minimized "
+            "variants with provenance links and robustness/differential verdicts"
+        ),
+    )
+    triage_parser.add_argument("--corpus", type=str, required=True)
+    triage_parser.add_argument(
+        "--default-cca", choices=sorted(CCA_FACTORIES), default="reno",
+        help="CCA for entries without a recorded discovery CCA (builtins, imports)",
+    )
+    triage_parser.add_argument("--limit", type=int, default=None,
+                               help="triage at most this many entries")
+    triage_parser.add_argument(
+        "--force", action="store_true",
+        help="re-triage entries that already carry a verdict "
+             "(e.g. after a run with --skip-* engines)",
+    )
+    _add_triage_options(triage_parser)
+
     args = parser.parse_args(argv)
 
     if args.command == "run":
@@ -386,10 +593,42 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         print(f"\ncampaign report written to {report_path}")
         return 0
 
-    # replay/report read an existing corpus; creating an empty one on a
-    # mistyped path would silently "succeed" with zero entries.
+    # replay/report/triage read an existing corpus; creating an empty one on
+    # a mistyped path would silently "succeed" with zero entries.
     if not CorpusStore.is_corpus(args.corpus):
         parser.error(f"no corpus at {args.corpus} (missing index.json)")
+
+    if args.command == "triage":
+        if args.workers is not None and args.workers < 1:
+            parser.error("--workers must be at least 1")
+        if args.limit is not None and args.limit < 1:
+            parser.error("--limit must be at least 1")
+        corpus = CorpusStore(args.corpus)
+        backend = create_backend(args.backend, args.workers)
+        try:
+            result = triage_corpus(
+                corpus,
+                backend=backend,
+                config=_triage_config(args),
+                default_cca=args.default_cca,
+                limit=args.limit,
+                force=args.force,
+                progress=print,
+            )
+        finally:
+            backend.close()
+        print()
+        if result.rows:
+            print(format_table([row.as_dict() for row in result.rows]))
+        remaining = f", {result.remaining} left by --limit" if result.remaining else ""
+        print(
+            f"\ntriaged {len(result.rows)} entries "
+            f"({result.skipped} already triaged{remaining}), "
+            f"stored {result.stored} minimized variants; "
+            f"{result.simulations} simulations (+{result.cache_hits} cache hits) "
+            f"in {result.wall_time_s:.1f}s"
+        )
+        return 0
 
     if args.command == "replay":
         corpus = CorpusStore(args.corpus)

@@ -19,12 +19,12 @@ plateau patience or target fitness).
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exec.backend import BACKENDS, EvaluationBackend, SerialBackend, create_backend
-from ..exec.cache import CacheKey, TraceCache, cca_identity
+from ..exec.batch import evaluate_coalesced
+from ..exec.cache import TraceCache, cca_identity
 from ..exec.workers import EvaluationJob, EvaluationOutcome, simulate_packet_trace
 from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult
 from ..scoring.base import Score, ScoreFunction
@@ -322,45 +322,25 @@ class CCFuzz:
         pending = [ind for island in model.islands for ind in island.unevaluated()]
         if not pending:
             return 0, 0
-        if self.cache is None:
-            outcomes = self._execute_batch([ind.trace for ind in pending])
-            for individual, (score, summary) in zip(pending, outcomes):
-                self._apply_outcome(individual, score, summary)
-            self.total_evaluations += len(pending)
-            return len(pending), 0
-
-        # Group cache misses by key so identical traces (duplicate offspring,
-        # re-injected seeds) are simulated once per batch.
-        miss_groups: "OrderedDict[CacheKey, List[Individual]]" = OrderedDict()
-        hits = 0
-        for individual in pending:
-            key = (
-                individual.trace.fingerprint(),
-                self.cca_key,
-                self._sim_fingerprint,
-                self._score_fingerprint,
-            )
-            if key in miss_groups:
-                miss_groups[key].append(individual)
-                self.cache.record_coalesced_hit()
-                hits += 1
-                continue
-            cached = self.cache.get(key)
-            if cached is not None:
-                self._apply_outcome(individual, *cached)
-                hits += 1
-            else:
-                miss_groups[key] = [individual]
-
-        if miss_groups:
-            outcomes = self._execute_batch([group[0].trace for group in miss_groups.values()])
-            for (key, group), (score, summary) in zip(miss_groups.items(), outcomes):
-                self.cache.put(key, score, summary)
-                for individual in group:
-                    self._apply_outcome(individual, score, summary)
-            self.total_evaluations += len(miss_groups)
+        keys = None
+        if self.cache is not None:
+            keys = [
+                (
+                    individual.trace.fingerprint(),
+                    self.cca_key,
+                    self._sim_fingerprint,
+                    self._score_fingerprint,
+                )
+                for individual in pending
+            ]
+        outcomes, simulations, hits = evaluate_coalesced(
+            [ind.trace for ind in pending], keys, self._execute_batch, self.cache
+        )
+        for individual, (score, summary) in zip(pending, outcomes):
+            self._apply_outcome(individual, score, summary)
+        self.total_evaluations += simulations
         self.cache_hits += hits
-        return len(miss_groups), hits
+        return simulations, hits
 
     # ------------------------------------------------------------------ #
     # Generation construction

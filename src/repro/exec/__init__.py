@@ -15,6 +15,7 @@ from .backend import (
     ThreadBackend,
     create_backend,
 )
+from .batch import evaluate_coalesced
 from .cache import CacheKey, TraceCache, cca_identity
 from .workers import EvaluationJob, EvaluationOutcome, evaluate_job, simulate_packet_trace
 
@@ -30,6 +31,7 @@ __all__ = [
     "TraceCache",
     "cca_identity",
     "create_backend",
+    "evaluate_coalesced",
     "evaluate_job",
     "simulate_packet_trace",
 ]

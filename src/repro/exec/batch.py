@@ -1,0 +1,74 @@
+"""Cache-coalesced batch evaluation.
+
+One batch of work often contains the same trace several times (elite clones,
+re-injected seeds, duplicate offspring, triage candidates re-derived from the
+same reduction) and entries the cache has already seen.  This helper resolves
+a batch against a :class:`TraceCache` with exact accounting:
+
+* the first occurrence of each key does one :meth:`TraceCache.get` (a counted
+  hit or miss),
+* later in-batch occurrences are coalesced onto the first
+  (:meth:`TraceCache.record_coalesced_hit`), and
+* only the remaining misses are handed to ``execute``.
+
+Both the GA (:class:`~repro.core.fuzzer.CCFuzz`) and the triage engines
+funnel their evaluations through this one function, so "simulations run" and
+"cache hits" mean exactly the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from .cache import CacheKey, TraceCache
+from .workers import EvaluationOutcome
+
+Item = TypeVar("Item")
+
+#: Executes the deduplicated cache misses, preserving input order.
+BatchExecutor = Callable[[List[Item]], List[EvaluationOutcome]]
+
+
+def evaluate_coalesced(
+    items: Sequence[Item],
+    keys: Optional[Sequence[CacheKey]],
+    execute: BatchExecutor,
+    cache: Optional[TraceCache],
+) -> Tuple[List[EvaluationOutcome], int, int]:
+    """Resolve a batch through the cache; returns ``(outcomes, simulations, hits)``.
+
+    ``outcomes[i]`` corresponds to ``items[i]``; ``simulations`` counts the
+    items actually executed (cache misses after coalescing) and ``hits`` the
+    lookups served without execution.  With ``cache`` or ``keys`` set to
+    ``None`` every item is executed and nothing is memoized.
+    """
+    if cache is None or keys is None:
+        outcomes = execute(list(items))
+        return outcomes, len(items), 0
+    if len(keys) != len(items):
+        raise ValueError(f"got {len(items)} items but {len(keys)} cache keys")
+
+    resolved: List[Optional[EvaluationOutcome]] = [None] * len(items)
+    miss_groups: "OrderedDict[CacheKey, List[int]]" = OrderedDict()
+    hits = 0
+    for index, key in enumerate(keys):
+        if key in miss_groups:
+            miss_groups[key].append(index)
+            cache.record_coalesced_hit()
+            hits += 1
+            continue
+        cached = cache.get(key)
+        if cached is not None:
+            resolved[index] = cached
+            hits += 1
+        else:
+            miss_groups[key] = [index]
+
+    if miss_groups:
+        executed = execute([items[group[0]] for group in miss_groups.values()])
+        for (key, group), (score, summary) in zip(miss_groups.items(), executed):
+            cache.put(key, score, summary)
+            for index in group:
+                resolved[index] = (score, dict(summary))
+    return resolved, len(miss_groups), hits  # type: ignore[return-value]

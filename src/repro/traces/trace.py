@@ -56,8 +56,19 @@ class PacketTrace:
         return self.average_rate_pps * self.mss_bytes * 8.0 / 1e6
 
     def copy(self) -> "PacketTrace":
+        return self.with_timestamps(self.timestamps)
+
+    def with_timestamps(self, timestamps: Iterable[float]) -> "PacketTrace":
+        """A trace of the same type/duration/MSS but different event times.
+
+        Goes through the constructor so subclass invariants (e.g. the traffic
+        packet budget) are re-checked; the triage reducers derive every
+        candidate trace this way.  This is the single clone point — ``copy``
+        delegates here, so subclasses with extra constructor state override
+        only this method.
+        """
         return type(self)(
-            timestamps=list(self.timestamps),
+            timestamps=list(timestamps),
             duration=self.duration,
             mss_bytes=self.mss_bytes,
             metadata=dict(self.metadata),
@@ -187,9 +198,9 @@ class TrafficTrace(PacketTrace):
                 f"traffic trace has {self.packet_count} packets, above the limit {self.max_packets}"
             )
 
-    def copy(self) -> "TrafficTrace":
+    def with_timestamps(self, timestamps: Iterable[float]) -> "TrafficTrace":
         return TrafficTrace(
-            timestamps=list(self.timestamps),
+            timestamps=list(timestamps),
             duration=self.duration,
             mss_bytes=self.mss_bytes,
             metadata=dict(self.metadata),

@@ -207,6 +207,90 @@ class TestCorpusStore:
         # Without a rate constraint both remain available.
         assert len(store.seeds_for("link", 1.0, limit=10)) == 2
 
+    def test_rediscovery_count_persists_across_reload(self, tmp_path):
+        # The upgrade path is write-through: a rediscovery must land in the
+        # entry file AND the index row, and survive a cold reload.
+        store = CorpusStore(str(tmp_path / "corpus"))
+        trace = traffic_trace([0.15, 0.35])
+        store.add(trace, scenario_id="a", objective="throughput", score=-5.0)
+        store.add(trace.copy(), scenario_id="b", objective="throughput", score=-7.0)
+        store.add(trace.copy(), scenario_id="c", objective="throughput", score=-2.0)
+        reloaded = CorpusStore(str(tmp_path / "corpus"))
+        entry = reloaded.get(trace.fingerprint())
+        assert entry.rediscoveries == 2
+        assert entry.score == -2.0                       # best like-for-like find
+        assert entry.scenario_id == "c"
+        assert reloaded.index_rows()[trace.fingerprint()]["rediscoveries"] == 2
+
+    def test_unscored_entry_upgraded_by_first_scored_rediscovery(self, tmp_path):
+        # A builtin entry has score None; any scored re-find is comparable
+        # and must attach the discovery provenance while origin stays put.
+        store = CorpusStore(str(tmp_path / "corpus"))
+        trace = traffic_trace([0.45])
+        store.add(trace, scenario_id="builtin/x", origin="builtin")
+        store.add(
+            trace.copy(), scenario_id="reno/traffic/throughput/base",
+            cca="reno", objective="throughput", score=-3.0,
+        )
+        entry = store.get(trace.fingerprint())
+        assert entry.origin == "builtin"
+        assert entry.rediscoveries == 1
+        assert entry.score == -3.0
+        assert entry.cca == "reno"
+        assert entry.scenario_id == "reno/traffic/throughput/base"
+
+    def test_rediscovery_under_different_condition_keeps_provenance(self, tmp_path):
+        # Same objective but different network condition: still incomparable
+        # scales, so the recorded best must not be displaced.
+        store = CorpusStore(str(tmp_path / "corpus"))
+        trace = traffic_trace([0.25])
+        store.add(trace, scenario_id="a", objective="throughput", score=-6.0,
+                  condition={"queue_capacity": 60})
+        store.add(trace.copy(), scenario_id="b", objective="throughput", score=-1.0,
+                  condition={"queue_capacity": 20})
+        entry = store.get(trace.fingerprint())
+        assert entry.rediscoveries == 1
+        assert entry.score == -6.0
+        assert entry.condition == {"queue_capacity": 60}
+
+    def test_triage_reregistration_is_idempotent(self, tmp_path):
+        # Re-triaging a corpus re-adds the same minimized variants; like the
+        # builtin bootstrap, that must not count as a rediscovery.
+        store = CorpusStore(str(tmp_path / "corpus"))
+        trace = traffic_trace([0.65])
+        store.add(trace, scenario_id="triage/abc", origin="triage", derived_from="abc")
+        assert not store.add(trace.copy(), scenario_id="triage/abc", origin="triage",
+                             derived_from="abc")
+        assert store.get(trace.fingerprint()).rediscoveries == 0
+
+    def test_legacy_entry_payload_loads_without_triage_fields(self):
+        # Corpora written before the triage subsystem have no derived_from /
+        # triage keys; they must load with empty defaults.
+        from repro.campaign import CorpusEntry
+
+        trace = traffic_trace([0.1])
+        payload = {
+            "fingerprint": trace.fingerprint(),
+            "mode": "traffic",
+            "scenario_id": "a",
+            "trace": trace.to_dict(),
+        }
+        entry = CorpusEntry.from_dict(payload)
+        assert entry.derived_from == ""
+        assert entry.triage == {}
+
+    def test_annotate_triage_replaces_and_persists(self, tmp_path):
+        # A verdict describes one triage run; a re-triage (e.g. --force with
+        # different engines) must not inherit stale keys from the last run.
+        store = CorpusStore(str(tmp_path / "corpus"))
+        trace = traffic_trace([0.55])
+        store.add(trace, scenario_id="a", score=-1.0)
+        store.annotate_triage(trace.fingerprint(), {"classification": "generic"})
+        store.annotate_triage(trace.fingerprint(), {"robustness_score": 0.75})
+        reloaded = CorpusStore(str(tmp_path / "corpus"))
+        entry = reloaded.get(trace.fingerprint())
+        assert entry.triage == {"robustness_score": 0.75}
+
     def test_mode_of_trace(self):
         assert mode_of_trace(traffic_trace([0.1])) == "traffic"
         assert mode_of_trace(LinkTrace(timestamps=[0.1], duration=1.0)) == "link"
