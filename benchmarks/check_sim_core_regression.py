@@ -1,0 +1,71 @@
+"""CI gate: fail on events/sec regressions of the simulation core.
+
+Compares a freshly generated ``BENCH_sim_core.json`` against the committed
+one and exits non-zero when any throughput metric regressed by more than the
+tolerance (default 20%).
+
+Usage::
+
+    python benchmarks/check_sim_core_regression.py COMMITTED.json FRESH.json \
+        [--tolerance 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (section, metric) pairs gated by the regression check.
+GATED_METRICS = [
+    ("traffic_mode", "events_per_sec"),
+    ("link_mode", "events_per_sec"),
+    ("fuzz_smoke", "evals_per_sec"),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed", help="BENCH_sim_core.json from the repository")
+    parser.add_argument("fresh", help="BENCH_sim_core.json produced by this run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="maximum allowed fractional regression (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.committed) as handle:
+        committed = json.load(handle)["current"]
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)["current"]
+
+    failures = []
+    for section, metric in GATED_METRICS:
+        reference = committed.get(section, {}).get(metric)
+        measured = fresh.get(section, {}).get(metric)
+        if reference is None or measured is None:
+            failures.append(f"{section}.{metric}: missing (ref={reference}, new={measured})")
+            continue
+        floor = reference * (1.0 - args.tolerance)
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"{section}.{metric}: committed={reference:.1f} fresh={measured:.1f} "
+            f"floor={floor:.1f} [{status}]"
+        )
+        if measured < floor:
+            failures.append(
+                f"{section}.{metric} regressed: {measured:.1f} < {floor:.1f} "
+                f"({args.tolerance:.0%} below committed {reference:.1f})"
+            )
+
+    if failures:
+        print("\n".join(["", "simulation-core perf gate FAILED:"] + failures), file=sys.stderr)
+        return 1
+    print("simulation-core perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

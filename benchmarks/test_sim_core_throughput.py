@@ -1,0 +1,155 @@
+"""Throughput of the simulation core itself: events/sec and packets/sec.
+
+Unlike the paper-figure benchmarks, this file measures the *simulator fast
+path* directly — the slotted event core, the streaming flow monitor and the
+lazy TCP timers — in both fuzzing modes, plus one end-to-end GA smoke run.
+The measured numbers are emitted to ``BENCH_sim_core.json`` (see
+``conftest.sim_core_bench``) so every future PR has a machine-readable perf
+trajectory to beat; the committed ``baseline`` section froze the seed-commit
+numbers measured with this same harness before the fast path landed.
+
+``-k smoke`` selects every test here (they are all seconds-scale), matching
+the CI benchmark-smoke job.
+
+Hard speed assertions are opt-in via ``REPRO_ASSERT_SPEEDUP`` (shared CI
+runners are too noisy for an unconditional gate); the CI job instead compares
+the fresh JSON against the committed one with a 20% tolerance using
+``benchmarks/check_sim_core_regression.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import print_rows, run_once
+
+from repro.attacks import builtin_attack_traces
+from repro.core import CCFuzz, FuzzConfig
+from repro.netsim.packet import CCA_FLOW, CROSS_FLOW
+from repro.netsim.simulation import SimulationConfig, run_simulation
+from repro.tcp import Reno
+from repro.tcp.cca import cca_factory
+
+#: Simulation length for the single-simulation measurements.
+DURATION = 5.0
+
+#: Timing repeats; the best (minimum) wall clock is reported.
+REPEATS = 3
+
+#: Seed-commit (PR 3, pre-fast-path) numbers, measured with this harness on
+#: the reference container.  Frozen here and written into the JSON so the
+#: before/after trajectory survives regeneration.
+SEED_BASELINE = {
+    "commit": "37efce9 (PR 3 seed, pre-fast-path)",
+    "traffic_mode": {"events_per_sec": 48544.3, "packets_per_sec": 15545.7},
+    "link_mode": {"events_per_sec": 26336.4, "packets_per_sec": 8270.2},
+    "fuzz_smoke": {"evals_per_sec": 24.95},
+}
+
+
+def _measure_simulation(cca: str, *, link: bool) -> dict:
+    """Best-of-N events/sec and packets/sec for one builtin-attack run."""
+    traces = builtin_attack_traces(duration=DURATION)
+    trace = traces["bbr-stall-link"] if link else traces["bbr-stall"]
+    kwargs = (
+        {"link_trace": trace.timestamps}
+        if link
+        else {"cross_traffic_times": trace.timestamps}
+    )
+    best = None
+    for _ in range(REPEATS):
+        config = SimulationConfig(duration=DURATION)
+        started = time.perf_counter()
+        result = run_simulation(cca_factory(cca), config, **kwargs)
+        elapsed = time.perf_counter() - started
+        packets = result.monitor.sent_count(CCA_FLOW) + result.monitor.sent_count(CROSS_FLOW)
+        row = {
+            "wall_clock_s": elapsed,
+            "events": result.events_executed,
+            "packets": packets,
+            "events_per_sec": result.events_executed / elapsed,
+            "packets_per_sec": packets / elapsed,
+        }
+        if best is None or row["wall_clock_s"] < best["wall_clock_s"]:
+            best = row
+    return best
+
+
+def _fuzz_smoke_config() -> FuzzConfig:
+    """The exact serial smoke config of ``test_parallel_throughput.py``."""
+    return FuzzConfig(
+        mode="traffic",
+        population_size=6,
+        generations=2,
+        duration=1.0,
+        max_traffic_packets=60,
+        seed=21,
+    )
+
+
+def _maybe_assert_speedup(measured: float, baseline: float, factor: float) -> None:
+    """Enforce the acceptance speedup only on opted-in dedicated hardware."""
+    if os.environ.get("REPRO_ASSERT_SPEEDUP"):
+        assert measured >= factor * baseline, (
+            f"expected >= {factor}x over baseline {baseline:.1f}, got {measured:.1f}"
+        )
+
+
+def test_smoke_traffic_mode_events_per_sec(benchmark, sim_core_bench):
+    """Traffic-fuzzing mode: BBR vs the builtin bbr-stall cross traffic."""
+    sim_core_bench.setdefault("baseline", SEED_BASELINE)
+    row = run_once(benchmark, _measure_simulation, "bbr", link=False)
+    sim_core_bench["traffic_mode"] = row
+    print_rows("sim core: traffic mode (bbr-stall, 5s)", [row])
+    assert row["events"] > 1000
+    _maybe_assert_speedup(
+        row["events_per_sec"], SEED_BASELINE["traffic_mode"]["events_per_sec"], 2.0
+    )
+
+
+def test_smoke_link_mode_events_per_sec(benchmark, sim_core_bench):
+    """Link-fuzzing mode: BBR vs the builtin bbr-stall-link service curve."""
+    sim_core_bench.setdefault("baseline", SEED_BASELINE)
+    row = run_once(benchmark, _measure_simulation, "bbr", link=True)
+    sim_core_bench["link_mode"] = row
+    print_rows("sim core: link mode (bbr-stall-link, 5s)", [row])
+    assert row["events"] > 1000
+    _maybe_assert_speedup(
+        row["events_per_sec"], SEED_BASELINE["link_mode"]["events_per_sec"], 2.0
+    )
+
+
+def test_smoke_fuzz_end_to_end_evals_per_sec(benchmark, sim_core_bench):
+    """End-to-end GA smoke: serial evaluations/sec on the shared smoke config.
+
+    This is the acceptance metric of the fast-path work: the whole fuzzing
+    loop — trace generation, simulation, scoring, caching — measured as
+    evaluations per second, bit-identical to the seed GA history (asserted
+    separately by ``tests/test_sim_golden.py``).
+    """
+    sim_core_bench.setdefault("baseline", SEED_BASELINE)
+
+    def fuzz_run():
+        best_elapsed = None
+        result = None
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            result = CCFuzz(Reno, config=_fuzz_smoke_config()).run()
+            elapsed = time.perf_counter() - started
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed = elapsed
+        return result, best_elapsed
+
+    result, elapsed = run_once(benchmark, fuzz_run)
+    row = {
+        "wall_clock_s": elapsed,
+        "evaluations": result.total_evaluations,
+        "evals_per_sec": result.total_evaluations / elapsed,
+    }
+    sim_core_bench["fuzz_smoke"] = row
+    print_rows("sim core: fuzz smoke (Reno, 6 traces x 2 generations)", [row])
+    assert result.total_evaluations > 0
+    _maybe_assert_speedup(
+        row["evals_per_sec"], SEED_BASELINE["fuzz_smoke"]["evals_per_sec"], 2.0
+    )

@@ -38,10 +38,16 @@ def longest_delivery_gap(result: SimulationResult, flow: str = CCA_FLOW) -> floa
     times = result.monitor.egress_times(flow)
     if not times:
         return result.duration
-    gaps = [times[0]]
-    gaps.extend(b - a for a, b in zip(times, times[1:]))
-    gaps.append(result.duration - times[-1])
-    return max(gaps)
+    # Single pass over the (already sorted) egress stream; no gap list.
+    longest = times[0]
+    for previous, current in zip(times, times[1:]):
+        gap = current - previous
+        if gap > longest:
+            longest = gap
+    tail_gap = result.duration - times[-1]
+    if tail_gap > longest:
+        longest = tail_gap
+    return longest
 
 
 def compute_metrics(result: SimulationResult) -> FlowMetrics:

@@ -91,7 +91,13 @@ class FuzzConfig:
     use_cache: bool = True                 #: memoize (trace, cca, sim) -> score
 
     # Simulation parameters.
-    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    # Fuzzing evaluations only consume the monitor's derived series and the
+    # sender's aggregate counters, so per-ACK cwnd/pacing/RTT time-series
+    # recording is off by default; pass an explicit SimulationConfig
+    # (e.g. ``paper_defaults``) to record them.
+    sim: SimulationConfig = field(
+        default_factory=lambda: SimulationConfig(record_series=False)
+    )
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:

@@ -99,15 +99,18 @@ class TraceCache:
                 self.misses += 1
                 return None
             self.hits += 1
-            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                # Recency order only matters for bounded LRU eviction; the
+                # (default) unbounded cache skips the per-hit reordering.
+                self._entries.move_to_end(key)
             score, summary = entry
             return score, dict(summary)
 
     def put(self, key: CacheKey, score: Score, summary: Dict[str, Any]) -> None:
         with self._lock:
             self._entries[key] = (score, dict(summary))
-            self._entries.move_to_end(key)
             if self.max_entries is not None:
+                self._entries.move_to_end(key)
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
                     self.evictions += 1

@@ -6,7 +6,7 @@ source), per-flow monitoring and the :func:`run_simulation` entry point.
 """
 
 from .crosstraffic import CrossTrafficSource
-from .engine import EventHandle, EventScheduler
+from .engine import EventHandle, EventScheduler, FifoLane, LazyTimer
 from .link import FixedRateLink, TraceDrivenLink, mbps_to_pps, pps_to_mbps
 from .monitor import FlowMonitor, PacketRecord
 from .packet import AckPacket, CCA_FLOW, CROSS_FLOW, DEFAULT_MSS, Packet, SackBlock
@@ -24,8 +24,10 @@ __all__ = [
     "DumbbellTopology",
     "EventHandle",
     "EventScheduler",
+    "FifoLane",
     "FixedRateLink",
     "FlowMonitor",
+    "LazyTimer",
     "Packet",
     "PacketRecord",
     "SackBlock",

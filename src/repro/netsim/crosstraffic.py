@@ -8,9 +8,9 @@ regardless of drops, and simply counted at the sink.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from .engine import EventScheduler
+from .engine import EventScheduler, FifoLane
 from .packet import CROSS_FLOW, DEFAULT_MSS, Packet
 
 EnqueueCallback = Callable[[Packet, float], bool]
@@ -30,6 +30,8 @@ class CrossTrafficSource:
         Packet injection timestamps in seconds.
     """
 
+    __slots__ = ("scheduler", "enqueue", "injection_times", "mss_bytes", "sent", "dropped", "_lane")
+
     def __init__(
         self,
         scheduler: EventScheduler,
@@ -40,22 +42,28 @@ class CrossTrafficSource:
         self.scheduler = scheduler
         self.enqueue = enqueue
         self.injection_times: List[float] = sorted(float(t) for t in injection_times)
-        if any(t < 0 for t in self.injection_times):
+        if self.injection_times and self.injection_times[0] < 0:
             raise ValueError("cross-traffic injection times must be non-negative")
         self.mss_bytes = mss_bytes
         self.sent = 0
         self.dropped = 0
+        # Injections are installed pre-sorted, so they form a monotone lane.
+        self._lane: FifoLane = scheduler.fifo_lane()
 
-    def start(self, horizon: float = None) -> None:
+    def start(self, horizon: Optional[float] = None) -> None:
         """Schedule every injection (optionally clipped to ``horizon``)."""
+        if horizon is not None and horizon < 0:
+            raise ValueError(f"horizon must be non-negative (got {horizon})")
+        lane = self._lane
+        callback = self._inject
         for t in self.injection_times:
             if horizon is not None and t > horizon:
                 continue
-            self.scheduler.schedule_at(t, self._inject)
+            lane.push_at(t, callback)
 
     def _inject(self) -> None:
         now = self.scheduler.now
-        packet = Packet(flow=CROSS_FLOW, seq=self.sent, size_bytes=self.mss_bytes, sent_time=now)
+        packet = Packet(CROSS_FLOW, self.sent, self.mss_bytes, False, now)
         self.sent += 1
         admitted = self.enqueue(packet, now)
         if not admitted:

@@ -11,17 +11,23 @@ Two service disciplines are provided, matching the paper's two fuzzing modes
 
 Both links drain the shared drop-tail gateway queue and hand packets to a
 delivery callback after the fixed one-way propagation delay.
+
+The service loop is self-clocked on scheduler fast lanes: while the queue is
+busy, each service completion chains dequeue → transmit → next completion
+directly, and both the completion stream and the propagation-delayed delivery
+stream are monotone in time, so neither round-trips packets through the event
+heap.  Execution order (tie-breaks included) is identical to heap scheduling.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from .engine import EventHandle, EventScheduler
+from .engine import EventScheduler, FifoLane
 from .packet import Packet
 from .queue import DropTailQueue
 
-DeliveryCallback = Callable[[Packet, float], None]
+DeliveryCallback = Callable[[Packet], None]
 
 
 def mbps_to_pps(rate_mbps: float, mss_bytes: int = 1500) -> float:
@@ -44,6 +50,8 @@ class Link:
     modelling the fixed-propagation bottleneck of the paper's topology.
     """
 
+    __slots__ = ("scheduler", "queue", "deliver", "propagation_delay", "serviced", "_delivery_lane")
+
     def __init__(
         self,
         scheduler: EventScheduler,
@@ -56,7 +64,17 @@ class Link:
         self.deliver = deliver
         self.propagation_delay = propagation_delay
         self.serviced = 0
+        # Deliveries happen a fixed propagation delay after each (monotone)
+        # service completion, so they form a monotone fast lane.  The
+        # topology shares this lane for returning ACKs (same fixed delay,
+        # same nondecreasing clock), keeping the per-event lane scan short.
+        self._delivery_lane: FifoLane = scheduler.fifo_lane()
         queue.set_enqueue_callback(self.on_enqueue)
+
+    @property
+    def propagation_lane(self) -> FifoLane:
+        """The monotone lane carrying fixed-propagation-delay events."""
+        return self._delivery_lane
 
     def on_enqueue(self, packet: Packet, now: float) -> None:
         """Hook called by the queue when a packet is admitted."""
@@ -66,7 +84,7 @@ class Link:
 
     def _transmit(self, packet: Packet, now: float) -> None:
         self.serviced += 1
-        self.scheduler.schedule(self.propagation_delay, self.deliver, packet, )
+        self._delivery_lane.push_at(now + self.propagation_delay, self.deliver, packet)
 
 
 class FixedRateLink(Link):
@@ -75,6 +93,8 @@ class FixedRateLink(Link):
     The link serves one packet every ``1 / rate_pps`` seconds whenever the
     queue is non-empty.  Service is work-conserving.
     """
+
+    __slots__ = ("rate_pps", "_service_time", "_busy", "_service_lane")
 
     def __init__(
         self,
@@ -88,31 +108,33 @@ class FixedRateLink(Link):
         if rate_pps <= 0:
             raise ValueError("link rate must be positive")
         self.rate_pps = rate_pps
+        self._service_time = 1.0 / rate_pps
         self._busy = False
+        # While busy, completions fire every service time; pushes happen at
+        # nondecreasing times, so the stream is monotone.
+        self._service_lane: FifoLane = scheduler.fifo_lane()
 
     @property
     def service_time(self) -> float:
-        return 1.0 / self.rate_pps
+        return self._service_time
 
     def on_enqueue(self, packet: Packet, now: float) -> None:
         if not self._busy:
-            self._start_service(now)
-
-    def _start_service(self, now: float) -> None:
-        if self.queue.is_empty:
-            self._busy = False
-            return
-        self._busy = True
-        self.scheduler.schedule(self.service_time, self._finish_service)
+            self._busy = True
+            self._service_lane.push_at(now + self._service_time, self._finish_service)
 
     def _finish_service(self) -> None:
         now = self.scheduler.now
         packet = self.queue.dequeue(now)
         if packet is not None:
-            self._transmit(packet, now)
-        self._busy = False
-        if not self.queue.is_empty:
-            self._start_service(now)
+            self.serviced += 1
+            self._delivery_lane.push_at(now + self.propagation_delay, self.deliver, packet)
+        if self.queue._queue:
+            # Busy self-clocking: chain the next departure without going
+            # idle (matches the work-conserving service discipline).
+            self._service_lane.push_at(now + self._service_time, self._finish_service)
+        else:
+            self._busy = False
 
 
 class TraceDrivenLink(Link):
@@ -133,6 +155,8 @@ class TraceDrivenLink(Link):
         that simulations longer than the trace keep draining the queue.
     """
 
+    __slots__ = ("opportunities", "repeat_period", "wasted_opportunities", "_opportunity_lane")
+
     def __init__(
         self,
         scheduler: EventScheduler,
@@ -144,17 +168,18 @@ class TraceDrivenLink(Link):
     ) -> None:
         super().__init__(scheduler, queue, deliver, propagation_delay)
         self.opportunities: List[float] = sorted(float(t) for t in opportunities)
-        if any(t < 0 for t in self.opportunities):
+        if self.opportunities and self.opportunities[0] < 0:
             raise ValueError("transmission opportunities must be non-negative")
         self.repeat_period = repeat_period
         if repeat_period is not None and self.opportunities and repeat_period <= self.opportunities[-1]:
             raise ValueError("repeat_period must exceed the last opportunity time")
         self.wasted_opportunities = 0
-        self._handles: List[EventHandle] = []
+        # Opportunities are installed pre-sorted, so they form a monotone lane.
+        self._opportunity_lane: FifoLane = scheduler.fifo_lane()
 
     def start(self, horizon: Optional[float] = None) -> None:
         """Schedule all transmission opportunities up to ``horizon``."""
-        times = list(self.opportunities)
+        times = self.opportunities
         if self.repeat_period is not None and horizon is not None:
             repeated: List[float] = []
             offset = 0.0
@@ -162,10 +187,12 @@ class TraceDrivenLink(Link):
                 repeated.extend(t + offset for t in self.opportunities if t + offset <= horizon)
                 offset += self.repeat_period
             times = repeated
+        lane = self._opportunity_lane
+        callback = self._service_opportunity
         for t in times:
             if horizon is not None and t > horizon:
                 continue
-            self._handles.append(self.scheduler.schedule_at(t, self._service_opportunity))
+            lane.push_at(t, callback)
 
     def _service_opportunity(self) -> None:
         now = self.scheduler.now
@@ -173,10 +200,9 @@ class TraceDrivenLink(Link):
         if packet is None:
             self.wasted_opportunities += 1
             return
-        self._transmit(packet, now)
+        self.serviced += 1
+        self._delivery_lane.push_at(now + self.propagation_delay, self.deliver, packet)
 
     def stop(self) -> None:
         """Cancel all pending opportunities (used when aborting a run)."""
-        for handle in self._handles:
-            handle.cancel()
-        self._handles.clear()
+        self._opportunity_lane.clear()

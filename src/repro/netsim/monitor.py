@@ -5,13 +5,25 @@ The monitor records every packet admission (ingress), bottleneck departure
 paper plots: ingress/egress rates (Fig. 4a/4b), per-packet queueing delay
 (Fig. 4e) and windowed throughput used by the low-utilisation score
 (section 3.4).
+
+The collection path is streaming: per-flow append-only columnar accumulators
+(parallel lists of times and flags) and incremental counters are maintained
+as packets flow, so every derived series — ``egress_times``,
+``queueing_delays``, ``windowed_rate``, ``loss_rate`` — is O(flow) to read
+instead of an O(all packets) rescan per call.  The scoring functions call
+several derived series per evaluation, so with the old single-``records``-list
+design each evaluation walked every packet record five-plus times.
+
+The legacy per-packet ``records`` list (and ``flow_records``) survives as a
+lazily materialised compatibility view for analysis code; the derived values
+are bit-identical to the record-scanning implementation.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from .packet import Packet
 
@@ -37,63 +49,172 @@ class PacketRecord:
         return departed - self.ingress_time
 
 
-@dataclass
-class FlowMonitor:
-    """Collects packet-level records for every flow in a simulation."""
+class _FlowSeries:
+    """Streaming accumulators for one flow."""
 
-    records: List[PacketRecord] = field(default_factory=list)
-    queue_depth: List[Tuple[float, int]] = field(default_factory=list)
-    _by_packet_id: Dict[int, PacketRecord] = field(default_factory=dict)
+    __slots__ = ("ingress_times", "egress_times", "delay_pairs", "sent", "delivered", "dropped")
+
+    def __init__(self) -> None:
+        self.ingress_times: List[float] = []
+        self.egress_times: List[float] = []
+        self.delay_pairs: List[Tuple[float, float]] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+
+_EMPTY = _FlowSeries()
+
+
+class FlowMonitor:
+    """Collects packet-level measurements for every flow in a simulation."""
+
+    __slots__ = (
+        "queue_depth",
+        "_flows",
+        "_record_packets",
+        "_ingress_meta",
+        "_egress_info",
+        "_index_by_packet",
+        "_records_cache",
+        "_records_cache_key",
+    )
+
+    def __init__(self, record_packets: bool = True) -> None:
+        self.queue_depth: List[Tuple[float, int]] = []
+        self._flows: Dict[str, _FlowSeries] = {}
+        # When False (fuzzing runs), skip the global per-packet table that
+        # only backs the ``records`` compatibility view; the streaming
+        # derived series stay fully available.
+        self._record_packets = record_packets
+        # Global per-packet table in ingress order (all flows interleaved) —
+        # the backing store for the ``records`` view.  One
+        # (flow, seq, is_retransmit, ingress_time, dropped) row per ingress;
+        # egress/dequeue times are attached by row index on delivery.
+        self._ingress_meta: List[Tuple[str, int, bool, float, bool]] = []
+        self._egress_info: Dict[int, Tuple[float, Optional[float]]] = {}
+        self._index_by_packet: Dict[int, int] = {}
+        self._records_cache: List[PacketRecord] = []
+        self._records_cache_key: Tuple[int, int] = (0, 0)
+
+    def _series(self, flow: str) -> _FlowSeries:
+        series = self._flows.get(flow)
+        if series is None:
+            series = self._flows[flow] = _FlowSeries()
+        return series
 
     def on_ingress(self, packet: Packet, now: float, admitted: bool) -> None:
         """Record a packet arriving at the gateway (admitted or dropped)."""
-        record = PacketRecord(
-            flow=packet.flow,
-            seq=packet.seq,
-            is_retransmit=packet.is_retransmit,
-            ingress_time=now,
-            dropped=not admitted,
-        )
-        self.records.append(record)
-        if admitted:
-            self._by_packet_id[packet.packet_id] = record
+        series = self._flows.get(packet.flow)
+        if series is None:
+            series = self._flows[packet.flow] = _FlowSeries()
+        series.sent += 1
+        series.ingress_times.append(now)
+        if not admitted:
+            series.dropped += 1
+        if self._record_packets:
+            if admitted:
+                self._index_by_packet[packet.packet_id] = len(self._ingress_meta)
+            self._ingress_meta.append(
+                (packet.flow, packet.seq, packet.is_retransmit, now, not admitted)
+            )
 
     def on_egress(self, packet: Packet, now: float) -> None:
         """Record a packet leaving the bottleneck link."""
-        record = self._by_packet_id.get(packet.packet_id)
-        if record is not None:
-            record.egress_time = now
-            record.dequeue_time = packet.dequeue_time
+        dequeue_time = packet.dequeue_time
+        if self._record_packets:
+            index = self._index_by_packet.get(packet.packet_id)
+            if index is None:
+                return
+            self._egress_info[index] = (now, dequeue_time)
+            ingress_time = self._ingress_meta[index][3]
+        else:
+            # The queue admission stamp doubles as the ingress time (both are
+            # taken at the same instant); packets that never reached the
+            # gateway carry no stamp and are ignored, matching the
+            # record-backed path.
+            stamp = packet.enqueue_time
+            if stamp is None:
+                return
+            ingress_time = stamp
+        series = self._flows.get(packet.flow)
+        if series is None:
+            return
+        series.delivered += 1
+        series.egress_times.append(now)
+        departed = dequeue_time if dequeue_time is not None else now
+        series.delay_pairs.append((now, departed - ingress_time))
 
     def on_queue_sample(self, now: float, depth: int) -> None:
         self.queue_depth.append((now, depth))
 
     # ------------------------------------------------------------------ #
-    # Derived series
+    # Legacy per-packet record view
     # ------------------------------------------------------------------ #
+
+    @property
+    def records(self) -> List[PacketRecord]:
+        """Per-packet records in ingress order (compatibility view).
+
+        Materialised lazily from the columnar store and cached until new
+        ingress/egress events arrive.  Mutating the returned records does not
+        affect the monitor.
+        """
+        if not self._record_packets:
+            raise RuntimeError(
+                "per-packet records were not collected (record_series=False); "
+                "re-run with record_series=True to use the records view"
+            )
+        key = (len(self._ingress_meta), len(self._egress_info))
+        if key != self._records_cache_key:
+            egress_info = self._egress_info
+            none_pair = (None, None)
+            records = []
+            for index, (flow, seq, retx, ingress, dropped) in enumerate(self._ingress_meta):
+                egress, dequeue = egress_info.get(index, none_pair)
+                records.append(
+                    PacketRecord(
+                        flow=flow,
+                        seq=seq,
+                        is_retransmit=retx,
+                        ingress_time=ingress,
+                        egress_time=egress,
+                        dequeue_time=dequeue,
+                        dropped=dropped,
+                    )
+                )
+            self._records_cache = records
+            self._records_cache_key = key
+        return self._records_cache
 
     def flow_records(self, flow: str) -> List[PacketRecord]:
         return [r for r in self.records if r.flow == flow]
 
+    # ------------------------------------------------------------------ #
+    # Derived series
+    # ------------------------------------------------------------------ #
+
     def egress_times(self, flow: str) -> List[float]:
         """Sorted departure times of delivered packets for ``flow``."""
-        times = [r.egress_time for r in self.records if r.flow == flow and r.egress_time is not None]
+        times = list(self._flows.get(flow, _EMPTY).egress_times)
+        # Simulation time is nondecreasing, so this is a cheap no-op sort in
+        # practice; it keeps the sorted-output contract for hand-fed monitors.
         times.sort()
         return times
 
     def ingress_times(self, flow: str) -> List[float]:
-        times = [r.ingress_time for r in self.records if r.flow == flow]
+        times = list(self._flows.get(flow, _EMPTY).ingress_times)
         times.sort()
         return times
 
     def drops(self, flow: str) -> int:
-        return sum(1 for r in self.records if r.flow == flow and r.dropped)
+        return self._flows.get(flow, _EMPTY).dropped
 
     def delivered_count(self, flow: str) -> int:
-        return sum(1 for r in self.records if r.flow == flow and r.egress_time is not None)
+        return self._flows.get(flow, _EMPTY).delivered
 
     def sent_count(self, flow: str) -> int:
-        return sum(1 for r in self.records if r.flow == flow)
+        return self._flows.get(flow, _EMPTY).sent
 
     def queueing_delays(self, flow: str) -> List[Tuple[float, float]]:
         """(egress time, gateway queueing delay) pairs for delivered packets of ``flow``.
@@ -102,11 +223,7 @@ class FlowMonitor:
         excludes the fixed propagation delay (matching the paper's
         "Queuing Delay" axis in Fig. 4e).
         """
-        pairs = [
-            (r.egress_time, r.queueing_delay)
-            for r in self.records
-            if r.flow == flow and r.egress_time is not None and r.queueing_delay is not None
-        ]
+        pairs = list(self._flows.get(flow, _EMPTY).delay_pairs)
         pairs.sort()
         return pairs
 
@@ -147,7 +264,7 @@ class FlowMonitor:
 
     def loss_rate(self, flow: str) -> float:
         """Fraction of packets of ``flow`` dropped at the gateway."""
-        sent = self.sent_count(flow)
-        if sent == 0:
+        series = self._flows.get(flow, _EMPTY)
+        if series.sent == 0:
             return 0.0
-        return self.drops(flow) / sent
+        return series.dropped / series.sent

@@ -4,6 +4,11 @@ The paper's network model (section 3.1) uses a single gateway with a
 fixed-size drop-tail FIFO queue shared by the flow under test and the cross
 traffic.  This module implements exactly that queue, with per-flow drop
 accounting and optional depth sampling for analysis.
+
+Depth samples are kept in two parallel columns (times, depths) because one
+sample is taken per enqueue/dequeue/drop — building a tuple for each was a
+measurable slice of the per-packet cost.  ``depth_samples`` materialises the
+``(time, depth)`` pairs on demand.
 """
 
 from __future__ import annotations
@@ -26,12 +31,27 @@ class DropTailQueue:
     on_enqueue:
         Optional callback invoked as ``on_enqueue(packet, now)`` when a packet
         is admitted; used by the link to kick service on an idle link.
+    sample_depth:
+        Record a (time, depth) sample per enqueue/dequeue/drop.  Disabled by
+        fuzzing runs (``record_series=False``), which never read the series.
     """
+
+    __slots__ = (
+        "capacity",
+        "_queue",
+        "_on_enqueue",
+        "drops",
+        "enqueued",
+        "_sample_depth",
+        "_depth_times",
+        "_depth_values",
+    )
 
     def __init__(
         self,
         capacity_packets: int = 60,
         on_enqueue: Optional[Callable[[Packet, float], None]] = None,
+        sample_depth: bool = True,
     ) -> None:
         if capacity_packets <= 0:
             raise ValueError("queue capacity must be positive")
@@ -40,7 +60,9 @@ class DropTailQueue:
         self._on_enqueue = on_enqueue
         self.drops: Dict[str, int] = {}
         self.enqueued: Dict[str, int] = {}
-        self.depth_samples: List[Tuple[float, int]] = []
+        self._sample_depth = sample_depth
+        self._depth_times: List[float] = []
+        self._depth_values: List[int] = []
 
     def set_enqueue_callback(self, callback: Callable[[Packet, float], None]) -> None:
         """Install the callback fired on each successful enqueue."""
@@ -57,30 +79,44 @@ class DropTailQueue:
     def is_full(self) -> bool:
         return len(self._queue) >= self.capacity
 
+    @property
+    def depth_samples(self) -> List[Tuple[float, int]]:
+        """(time, depth) samples, one per enqueue/dequeue/drop."""
+        return list(zip(self._depth_times, self._depth_values))
+
     def enqueue(self, packet: Packet, now: float) -> bool:
         """Attempt to admit ``packet`` at time ``now``.
 
         Returns ``True`` if admitted, ``False`` if tail-dropped.
         """
-        if self.is_full:
-            self.drops[packet.flow] = self.drops.get(packet.flow, 0) + 1
-            self._sample(now)
+        queue = self._queue
+        flow = packet.flow
+        if len(queue) >= self.capacity:
+            self.drops[flow] = self.drops.get(flow, 0) + 1
+            if self._sample_depth:
+                self._depth_times.append(now)
+                self._depth_values.append(len(queue))
             return False
         packet.enqueue_time = now
-        self._queue.append(packet)
-        self.enqueued[packet.flow] = self.enqueued.get(packet.flow, 0) + 1
-        self._sample(now)
+        queue.append(packet)
+        self.enqueued[flow] = self.enqueued.get(flow, 0) + 1
+        if self._sample_depth:
+            self._depth_times.append(now)
+            self._depth_values.append(len(queue))
         if self._on_enqueue is not None:
             self._on_enqueue(packet, now)
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
         """Remove and return the head-of-line packet, or ``None`` if empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        packet = self._queue.popleft()
+        packet = queue.popleft()
         packet.dequeue_time = now
-        self._sample(now)
+        if self._sample_depth:
+            self._depth_times.append(now)
+            self._depth_values.append(len(queue))
         return packet
 
     def peek(self) -> Optional[Packet]:
@@ -92,6 +128,3 @@ class DropTailQueue:
 
     def drops_for(self, flow: str) -> int:
         return self.drops.get(flow, 0)
-
-    def _sample(self, now: float) -> None:
-        self.depth_samples.append((now, len(self._queue)))

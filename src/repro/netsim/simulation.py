@@ -40,6 +40,11 @@ class SimulationConfig:
     sender_start_time: float = 0.0
     record_series: bool = True
     max_events: Optional[int] = 2_000_000
+    #: Lazily computed by :meth:`fingerprint`; configs are treated as
+    #: immutable (copies go through :meth:`with_overrides`).
+    _fingerprint_cache: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""
@@ -50,12 +55,20 @@ class SimulationConfig:
 
         Two configs share a fingerprint iff every field is equal, so a cached
         ``(trace, cca, config) -> score`` entry can never be served to a run
-        with different simulation parameters.
+        with different simulation parameters.  Computed once per config: the
+        evaluation cache rebuilds its key per lookup.
         """
+        cached = self._fingerprint_cache
+        if cached is not None:
+            return cached
         canonical = ";".join(
-            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if not f.name.startswith("_")
         )
-        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+        digest = hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+        object.__setattr__(self, "_fingerprint_cache", digest)
+        return digest
 
     @classmethod
     def paper_defaults(cls) -> "SimulationConfig":
@@ -87,6 +100,7 @@ class SimulationResult:
     cross_dropped_at_queue: int = 0
     link_wasted_opportunities: int = 0
     forced_losses: int = 0
+    events_executed: int = 0    #: scheduler events processed (perf accounting)
 
     # ------------------------------------------------------------------ #
     # Convenience metrics
@@ -193,7 +207,7 @@ def run_simulation(
         sender_start_time=config.sender_start_time,
         record_series=config.record_series,
     )
-    topology.run(max_events=config.max_events)
+    events_executed = topology.run(max_events=config.max_events)
 
     receiver = topology.receiver
     link = topology.link
@@ -215,4 +229,5 @@ def run_simulation(
         cross_dropped_at_queue=topology.cross_traffic.dropped if topology.cross_traffic else 0,
         link_wasted_opportunities=getattr(link, "wasted_opportunities", 0),
         forced_losses=topology.forced_losses,
+        events_executed=events_executed,
     )

@@ -48,9 +48,15 @@ class DumbbellTopology:
         self.duration = duration
         self.mss_bytes = mss_bytes
         self.propagation_delay = propagation_delay
-        self.monitor = FlowMonitor()
+        # record_series=False (fuzzing) skips every series no evaluation
+        # reads: per-packet records, queue-depth samples and the sender's
+        # cwnd/pacing/RTT series.  The monitor's derived series — what the
+        # scoring functions consume — are always collected.
+        self.monitor = FlowMonitor(record_packets=record_series)
 
-        self.queue = DropTailQueue(capacity_packets=queue_capacity)
+        self.queue = DropTailQueue(
+            capacity_packets=queue_capacity, sample_depth=record_series
+        )
         self.queue_capacity = queue_capacity
 
         if link_trace is not None:
@@ -94,6 +100,11 @@ class DumbbellTopology:
                 injection_times=cross_traffic_times,
                 mss_bytes=mss_bytes,
             )
+
+        # ACKs return after the same fixed propagation delay as forward-path
+        # deliveries, from nondecreasing emission times, so they share the
+        # link's monotone propagation lane.
+        self._ack_lane = self.link.propagation_lane
 
         self.cross_delivered = 0
         # Random-loss schedule (section 5 extension): each entry drops the
@@ -141,7 +152,7 @@ class DumbbellTopology:
             self.cross_delivered += 1
 
     def _return_ack(self, ack: AckPacket) -> None:
-        self.scheduler.schedule(self.propagation_delay, self.sender.on_ack, ack)
+        self._ack_lane.push(self.propagation_delay, self.sender.on_ack, ack)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -157,8 +168,10 @@ class DumbbellTopology:
             self.cross_traffic.start(horizon=self.duration)
         self.sender.start()
 
-    def run(self, max_events: Optional[int] = None) -> None:
+    def run(self, max_events: Optional[int] = None) -> int:
         self.start()
-        self.scheduler.run(until=self.duration, max_events=max_events)
-        # Propagate queue depth samples to the monitor for analysis.
-        self.monitor.queue_depth = list(self.queue.depth_samples)
+        executed = self.scheduler.run(until=self.duration, max_events=max_events)
+        # Propagate queue depth samples to the monitor for analysis
+        # (``depth_samples`` materialises a fresh list of pairs).
+        self.monitor.queue_depth = self.queue.depth_samples
+        return executed

@@ -109,10 +109,16 @@ class StallScore(PerformanceScore):
         duration = result.duration
         if not times:
             return 1.0
-        gaps = [times[0]]
-        gaps.extend(b - a for a, b in zip(times, times[1:]))
-        gaps.append(duration - times[-1])
-        return max(gaps) / duration
+        # Single pass over the (already sorted) egress stream; no gap list.
+        longest = times[0]
+        for previous, current in zip(times, times[1:]):
+            gap = current - previous
+            if gap > longest:
+                longest = gap
+        tail_gap = duration - times[-1]
+        if tail_gap > longest:
+            longest = tail_gap
+        return longest / duration
 
 
 class CompositeScore(PerformanceScore):

@@ -16,7 +16,7 @@ from typing import Any, Dict, Optional
 from ..rate_sampler import RateSample
 
 
-@dataclass
+@dataclass(slots=True)
 class AckEvent:
     """Information handed to the CCA for every processed ACK."""
 

@@ -66,8 +66,13 @@ class Bbr(CongestionControl):
         self._cwnd = float(initial_cwnd)
         self.initial_rtt = initial_rtt
 
-        # Bottleneck bandwidth max filter: (round_count, rate) samples.
+        # Bottleneck bandwidth max filter: (round_count, rate) samples, plus
+        # a monotonic-decreasing companion deque so the windowed max is O(1)
+        # per query instead of a rescan of every sample.  ``btlbw`` is read
+        # on every pacing decision, so the rescan dominated whole-simulation
+        # profiles before this.
         self._btlbw_samples: Deque[Tuple[int, float]] = deque()
+        self._btlbw_max: Deque[Tuple[int, float]] = deque()
         self.rtprop = float("inf")
         self.rtprop_stamp = 0.0
         self._rtprop_expired = False
@@ -107,10 +112,15 @@ class Bbr(CongestionControl):
 
     @property
     def btlbw(self) -> float:
-        """Bottleneck bandwidth estimate in segments/second (max filter)."""
-        if not self._btlbw_samples:
+        """Bottleneck bandwidth estimate in segments/second (max filter).
+
+        The head of the monotonic deque is exactly ``max(rate for _, rate in
+        self._btlbw_samples)``: appends evict dominated samples from the
+        tail, expiry evicts stale maxima from the head.
+        """
+        if not self._btlbw_max:
             return 0.0
-        return max(rate for _, rate in self._btlbw_samples)
+        return self._btlbw_max[0][1]
 
     @property
     def bdp(self) -> float:
@@ -174,10 +184,21 @@ class Bbr(CongestionControl):
     def _update_btlbw(self, rs) -> None:
         if rs.delivery_rate <= 0:
             return
-        self._btlbw_samples.append((self.round_count, rs.delivery_rate))
-        horizon = self.round_count - self.BTLBW_FILTER_ROUNDS
+        rate = rs.delivery_rate
+        round_count = self.round_count
+        self._btlbw_samples.append((round_count, rate))
+        # Monotonic max filter: drop dominated samples from the tail (a tie
+        # keeps the newer sample, which lives longer — same max either way),
+        # then expire stale entries from both deques' heads.
+        btlbw_max = self._btlbw_max
+        while btlbw_max and btlbw_max[-1][1] <= rate:
+            btlbw_max.pop()
+        btlbw_max.append((round_count, rate))
+        horizon = round_count - self.BTLBW_FILTER_ROUNDS
         while self._btlbw_samples and self._btlbw_samples[0][0] <= horizon:
             self._btlbw_samples.popleft()
+        while btlbw_max and btlbw_max[0][0] <= horizon:
+            btlbw_max.popleft()
 
     def _update_rtprop(self, now: float, rs) -> None:
         # The expiry decision is latched *before* this sample may refresh the

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentTxState:
     """Per-transmission rate-sampling stamps carried by each segment."""
 
@@ -36,7 +36,7 @@ class SegmentTxState:
     is_retransmit: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class RateSample:
     """One delivery-rate sample, produced when a segment is (S)ACKed."""
 
@@ -98,23 +98,34 @@ class DeliveryRateEstimator:
         self.delivered += newly_delivered
         self.delivered_time = now
 
-        send_elapsed = max(0.0, tx_state.sent_time - tx_state.first_tx_time)
-        ack_elapsed = max(0.0, now - tx_state.prior_delivered_time)
-        interval = max(send_elapsed, ack_elapsed)
+        sent_time = tx_state.sent_time
+        send_elapsed = sent_time - tx_state.first_tx_time
+        if send_elapsed < 0.0:
+            send_elapsed = 0.0
+        ack_elapsed = now - tx_state.prior_delivered_time
+        if ack_elapsed < 0.0:
+            ack_elapsed = 0.0
+        interval = send_elapsed if send_elapsed > ack_elapsed else ack_elapsed
         # Linux tcp_rate_skb_delivered(): the send time of the most recently
         # delivered packet becomes the start of the next sample's send window.
-        self.first_tx_time = max(self.first_tx_time, tx_state.sent_time)
+        if sent_time > self.first_tx_time:
+            self.first_tx_time = sent_time
         delivered_delta = self.delivered - tx_state.prior_delivered
         rate = delivered_delta / interval if interval > 1e-9 else 0.0
-        rtt = None if tx_state.is_retransmit else max(1e-9, now - tx_state.sent_time)
+        if tx_state.is_retransmit:
+            rtt = None
+        else:
+            rtt = now - sent_time
+            if rtt < 1e-9:
+                rtt = 1e-9
         return RateSample(
-            delivered=delivered_delta,
-            prior_delivered=tx_state.prior_delivered,
-            interval=interval,
-            delivery_rate=rate,
-            rtt=rtt,
-            is_retransmit=tx_state.is_retransmit,
-            ack_time=now,
-            send_elapsed=send_elapsed,
-            ack_elapsed=ack_elapsed,
+            delivered_delta,
+            tx_state.prior_delivered,
+            interval,
+            rate,
+            rtt,
+            tx_state.is_retransmit,
+            now,
+            send_elapsed,
+            ack_elapsed,
         )

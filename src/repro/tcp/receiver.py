@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Set, Tuple
 
-from ..netsim.engine import EventHandle, EventScheduler
+from ..netsim.engine import EventScheduler
 from ..netsim.packet import AckPacket, Packet, SackBlock
 
 AckSendCallback = Callable[[AckPacket], None]
@@ -55,7 +55,10 @@ class TcpReceiver:
         self._out_of_order: Set[int] = set()
         self._recent_blocks: List[SackBlock] = []
         self._pending_segments = 0
-        self._delack_handle: Optional[EventHandle] = None
+        # Delayed-ACK timer: armed per single pending segment and cancelled
+        # by the next ACK emission, so it is a LazyTimer (deadline update
+        # instead of a cancellable heap event per arm/cancel cycle).
+        self._delack_timer = scheduler.timer(self._delack_fire)
 
         self.segments_received = 0
         self.acks_sent = 0
@@ -102,26 +105,25 @@ class TcpReceiver:
     # ------------------------------------------------------------------ #
 
     def _emit_ack(self, now: float) -> None:
-        if self._delack_handle is not None:
-            self._delack_handle.cancel()
-            self._delack_handle = None
+        self._delack_timer.disarm()
+        blocks = self._recent_blocks
+        pending = self._pending_segments
         ack = AckPacket(
-            cumulative_ack=self.rcv_next,
-            sack_blocks=tuple(self._recent_blocks[: self.max_sack_blocks]),
-            ack_count=max(1, self._pending_segments),
-            sent_time=now,
+            self.rcv_next,
+            tuple(blocks[: self.max_sack_blocks]) if blocks else (),
+            pending if pending > 1 else 1,
+            now,
         )
         self._pending_segments = 0
         self.acks_sent += 1
         self.send_ack(ack)
 
     def _arm_delack(self, now: float) -> None:
-        if self._delack_handle is not None:
+        if self._delack_timer._deadline is not None:
             return
-        self._delack_handle = self.scheduler.schedule(self.delack_timeout, self._delack_fire)
+        self._delack_timer.arm(now + self.delack_timeout)
 
     def _delack_fire(self) -> None:
-        self._delack_handle = None
         if self._pending_segments > 0:
             self._emit_ack(self.scheduler.now)
 
@@ -135,14 +137,19 @@ class TcpReceiver:
         remaining: List[SackBlock] = []
         for block in self._recent_blocks:
             if block.end >= merged_start and block.start <= merged_end:
-                merged_start = min(merged_start, block.start)
-                merged_end = max(merged_end, block.end)
+                if block.start < merged_start:
+                    merged_start = block.start
+                if block.end > merged_end:
+                    merged_end = block.end
             else:
                 remaining.append(block)
-        self._recent_blocks = [SackBlock(merged_start, merged_end)] + remaining
+        remaining.insert(0, SackBlock(merged_start, merged_end))
+        self._recent_blocks = remaining
 
     def _prune_sack_blocks(self) -> None:
         """Drop SACK blocks fully covered by the cumulative ACK."""
+        if not self._recent_blocks:
+            return
         pruned: List[SackBlock] = []
         for block in self._recent_blocks:
             if block.end <= self.rcv_next:

@@ -25,7 +25,7 @@ from ..netsim.packet import SackBlock
 from .rate_sampler import SegmentTxState
 
 
-@dataclass
+@dataclass(slots=True)
 class SegmentState:
     """Sender-side state for one segment."""
 
@@ -77,6 +77,17 @@ class SackScoreboard:
         self._lost_unsent: List[int] = []           #: sorted seqs marked lost, awaiting retransmit
         self._sacked_sorted: List[int] = []         #: sorted SACKed (not cum-acked) seqs
         self._latest_sacked_send = 0.0              #: newest send time among SACKed segments
+        # Loss-detection candidates: sent, undelivered, not currently marked
+        # lost.  Kept sorted (plus a membership set) so ``detect_losses`` and
+        # ``mark_all_outstanding_lost`` touch only real candidates instead of
+        # re-walking — and re-sorting — every undelivered segment per ACK.
+        self._candidates_sorted: List[int] = []
+        self._candidate_set: Set[int] = set()
+        # Set when new SACK information arrives; ``detect_losses`` is a no-op
+        # otherwise (new first transmissions are always above the SACK
+        # frontier, and retransmissions sent after the newest SACK can never
+        # satisfy the RACK-style ordering check), so most ACKs skip the walk.
+        self._detect_dirty = False
 
     # ------------------------------------------------------------------ #
     # Transmission bookkeeping
@@ -86,7 +97,7 @@ class SackScoreboard:
         """Record a (re)transmission of ``seq`` and return its state."""
         state = self.segments.get(seq)
         if state is None:
-            state = SegmentState(seq=seq)
+            state = SegmentState(seq)
             self.segments[seq] = state
         state.transmissions += 1
         if state.transmissions > 1:
@@ -102,6 +113,9 @@ class SackScoreboard:
             state.lost = False
             self._remove_lost_unsent(seq)
         self._undelivered.add(seq)
+        if not state.delivered and seq not in self._candidate_set:
+            self._candidate_set.add(seq)
+            bisect.insort(self._candidates_sorted, seq)
         return state
 
     # ------------------------------------------------------------------ #
@@ -154,14 +168,43 @@ class SackScoreboard:
     def apply_sack_blocks(
         self, blocks: Iterable[SackBlock], now: Optional[float] = None
     ) -> List[SegmentState]:
-        """Mark segments covered by ``blocks`` as SACKed; return newly SACKed states."""
+        """Mark segments covered by ``blocks`` as SACKed; return newly SACKed states.
+
+        SACK blocks re-report the same ranges on every ACK, so the walk skips
+        contiguous runs of already-SACKed sequence numbers via the sorted
+        SACK index instead of re-checking each segment's flags; per ACK this
+        costs O(log n + newly sacked) rather than O(block width).
+        """
         newly_sacked: List[SegmentState] = []
+        sacked_sorted = self._sacked_sorted
+        segments = self.segments
+        snd_una = self.snd_una
         for block in blocks:
-            for seq in range(block.start, block.end):
-                if seq < self.snd_una:
-                    continue
-                state = self.segments.get(seq)
+            seq = block.start if block.start > snd_una else snd_una
+            end = block.end
+            if seq >= end:
+                continue
+            index = bisect.bisect_left(sacked_sorted, seq)
+            while seq < end:
+                # Skip the contiguous run of already-SACKed seqs starting at
+                # `index` in one binary search: within a run, value minus
+                # position is constant (the list is sorted and duplicate-free),
+                # so find the first position where that invariant breaks.
+                run_key = seq - index
+                lo, hi = index, len(sacked_sorted)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if sacked_sorted[mid] - mid == run_key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                seq += lo - index
+                index = lo
+                if seq >= end:
+                    break
+                state = segments.get(seq)
                 if state is None or state.sacked or state.acked:
+                    seq += 1
                     continue
                 if (
                     state.transmissions > 1
@@ -176,11 +219,16 @@ class SackScoreboard:
                     self.spurious_retransmissions += 1
                 self._mark_delivered(state, via_sack=True)
                 state.sacked = True
+                self._detect_dirty = True
                 newly_sacked.append(state)
-                bisect.insort(self._sacked_sorted, seq)
+                sacked_sorted.insert(index, seq)
+                index += 1
                 if state.last_sent_time is not None:
-                    self._latest_sacked_send = max(self._latest_sacked_send, state.last_sent_time)
-                self.high_sacked = max(self.high_sacked, seq)
+                    if state.last_sent_time > self._latest_sacked_send:
+                        self._latest_sacked_send = state.last_sent_time
+                if seq > self.high_sacked:
+                    self.high_sacked = seq
+                seq += 1
         return newly_sacked
 
     def _mark_delivered(self, state: SegmentState, via_sack: bool) -> None:
@@ -191,6 +239,7 @@ class SackScoreboard:
             state.lost = False
             self._remove_lost_unsent(state.seq)
         self._undelivered.discard(state.seq)
+        self._remove_candidate(state.seq)
 
     # ------------------------------------------------------------------ #
     # Loss detection
@@ -207,24 +256,35 @@ class SackScoreboard:
         the RTO (the behaviour the paper's findings depend on).
         """
         newly_lost: List[SegmentState] = []
-        if self.high_sacked < 0 or not self._sacked_sorted:
+        if not self._detect_dirty:
             return newly_lost
-        for seq in sorted(self._undelivered):
-            if seq >= self.high_sacked:
+        self._detect_dirty = False
+        sacked_sorted = self._sacked_sorted
+        if self.high_sacked < 0 or len(sacked_sorted) < self.dupthresh:
+            # Fewer than dupthresh SACKed segments exist, so no segment can
+            # have dupthresh SACKs above it.
+            return newly_lost
+        # ``dupthresh`` SACKs lie above seq exactly when seq is below the
+        # dupthresh-th largest SACKed seq (no candidate is itself SACKed),
+        # and that count only shrinks as seq grows — so the sorted candidate
+        # walk stops at a single precomputed cutoff.
+        cutoff = sacked_sorted[-self.dupthresh]
+        candidates = self._candidates_sorted
+        index = 0
+        while index < len(candidates):
+            seq = candidates[index]
+            if seq >= cutoff:
                 break
-            state = self.segments.get(seq)
-            if state is None or state.delivered or state.lost:
-                continue
-            if state.transmissions == 0:
-                continue
-            above = len(self._sacked_sorted) - bisect.bisect_right(self._sacked_sorted, seq)
-            if above < self.dupthresh:
-                continue
+            state = self.segments[seq]
             if state.transmissions > 1:
                 if not self.redetect_lost_retransmissions:
+                    index += 1
                     continue
                 if self._latest_sacked_send <= (state.last_sent_time or 0.0) + 1e-12:
+                    index += 1
                     continue
+            # _mark_lost removes candidates[index]; the next candidate slides
+            # into this index, so it is not advanced.
             self._mark_lost(state)
             newly_lost.append(state)
         return newly_lost
@@ -232,12 +292,10 @@ class SackScoreboard:
     def mark_all_outstanding_lost(self) -> List[SegmentState]:
         """RTO behaviour: every sent, un-delivered segment is presumed lost."""
         newly_lost: List[SegmentState] = []
-        for seq in sorted(self._undelivered):
+        for seq in list(self._candidates_sorted):
+            if seq < self.snd_una:
+                continue
             state = self.segments[seq]
-            if seq < self.snd_una or state.delivered or state.lost:
-                continue
-            if state.transmissions == 0:
-                continue
             self._mark_lost(state)
             newly_lost.append(state)
         return newly_lost
@@ -248,6 +306,13 @@ class SackScoreboard:
         state.outstanding = False
         state.lost = True
         bisect.insort(self._lost_unsent, state.seq)
+        self._remove_candidate(state.seq)
+
+    def _remove_candidate(self, seq: int) -> None:
+        if seq in self._candidate_set:
+            self._candidate_set.discard(seq)
+            index = bisect.bisect_left(self._candidates_sorted, seq)
+            self._candidates_sorted.pop(index)
 
     def _remove_lost_unsent(self, seq: int) -> None:
         index = bisect.bisect_left(self._lost_unsent, seq)

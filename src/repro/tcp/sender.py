@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ..netsim.engine import EventHandle, EventScheduler
+from ..netsim.engine import EventScheduler
 from ..netsim.packet import AckPacket, CCA_FLOW, DEFAULT_MSS, Packet
 from .cca.base import AckEvent, CongestionControl
 from .rate_sampler import DeliveryRateEstimator, RateSample
@@ -32,7 +32,7 @@ from .sack import SackScoreboard
 TransmitCallback = Callable[[Packet], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class SenderStats:
     """Aggregate counters and time series exposed after a run."""
 
@@ -83,8 +83,11 @@ class TcpSender:
         self.in_rto_recovery = False
         self.recovery_point = 0
 
-        self._rto_handle: Optional[EventHandle] = None
-        self._pacing_handle: Optional[EventHandle] = None
+        # RFC 6298 restarts the retransmission timer on nearly every ACK, so
+        # it is a LazyTimer: restarting updates a deadline instead of
+        # cancelling and rescheduling a heap event.
+        self._rto_timer = scheduler.timer(self._on_rto)
+        self._pacing_event_pending = False
         self._next_send_time = 0.0
         self._started = False
         self._last_purge = 0
@@ -106,7 +109,10 @@ class TcpSender:
         """Process an ACK arriving from the return path."""
         now = self.scheduler.now
 
-        newly_sacked_states = self.scoreboard.apply_sack_blocks(ack.sack_blocks, now=now)
+        sack_blocks = ack.sack_blocks
+        newly_sacked_states = (
+            self.scoreboard.apply_sack_blocks(sack_blocks, now) if sack_blocks else []
+        )
         newly_acked_states, newly_full_acked_states = self.scoreboard.apply_cumulative_ack(
             ack.cumulative_ack
         )
@@ -150,14 +156,15 @@ class TcpSender:
             newly_delivered=newly_delivered,
             cumulative_ack=ack.cumulative_ack,
             delivered=self.rate_estimator.delivered,
-            in_flight=self.scoreboard.pipe(),
+            in_flight=self.scoreboard._pipe,
             rate_sample=rate_sample,
             rtt=rtt,
             in_recovery=self.in_recovery,
             in_rto_recovery=self.in_rto_recovery,
         )
         self.cca.on_ack(event)
-        self._record_series(now)
+        if self.record_series:
+            self._record_series(now)
         self._try_send()
 
     # ------------------------------------------------------------------ #
@@ -170,23 +177,33 @@ class TcpSender:
         # Linux uses the most recently transmitted of the newly delivered
         # segments as the sample anchor (tcp_rate_skb_delivered keeps the skb
         # with the largest prior_delivered).
-        anchor = max(
-            (s for s in delivered_states if s.tx_state is not None),
-            key=lambda s: (s.tx_state.prior_delivered, s.tx_state.sent_time),
-            default=None,
-        )
-        if anchor is None or anchor.tx_state is None:
-            return None
+        if len(delivered_states) == 1:
+            # Common case (delayed ACK covering one segment): skip the key
+            # machinery for the singleton max.
+            anchor = delivered_states[0]
+            if anchor.tx_state is None:
+                return None
+        else:
+            anchor = max(
+                (s for s in delivered_states if s.tx_state is not None),
+                key=lambda s: (s.tx_state.prior_delivered, s.tx_state.sent_time),
+                default=None,
+            )
+            if anchor is None:
+                return None
         return self.rate_estimator.on_segment_delivered(now, anchor.tx_state, len(delivered_states))
 
     def _update_rtt(self, now: float, delivered_states) -> Optional[float]:
         # Karn's rule: only never-retransmitted segments yield RTT samples.
-        candidates = [
-            s for s in delivered_states if s.transmissions == 1 and s.last_sent_time is not None
-        ]
-        if not candidates:
+        latest = None
+        latest_sent = 0.0
+        for s in delivered_states:
+            if s.transmissions == 1 and s.last_sent_time is not None:
+                if latest is None or s.last_sent_time > latest_sent:
+                    latest = s
+                    latest_sent = s.last_sent_time
+        if latest is None:
             return None
-        latest = max(candidates, key=lambda s: s.last_sent_time)
         rtt = max(1e-9, now - latest.last_sent_time)
         self.rtt_estimator.update(rtt)
         if self.record_series:
@@ -206,51 +223,54 @@ class TcpSender:
 
     def _try_send(self) -> None:
         now = self.scheduler.now
+        scoreboard = self.scoreboard
+        # The CCA's control outputs only change in its ack/loss/RTO
+        # callbacks, so they are loop invariants for the whole send burst.
+        pacing_rate = self.cca.pacing_rate
+        paced = pacing_rate is not None and pacing_rate > 0
+        pace_step = 1.0 / pacing_rate if paced else 0.0
+        cwnd = self._effective_cwnd()
+        max_segments = self.max_segments
         while True:
-            pacing_rate = self.cca.pacing_rate
-            if pacing_rate is not None and pacing_rate > 0 and now < self._next_send_time - 1e-12:
+            if paced and now < self._next_send_time - 1e-12:
                 self._arm_pacing_timer()
                 return
-            if self.scoreboard.pipe() >= self._effective_cwnd():
+            if scoreboard._pipe >= cwnd:
                 return
-            seq = self.scoreboard.next_lost_segment()
+            seq = scoreboard.next_lost_segment()
             is_retransmit = seq is not None
             if seq is None:
-                if self.max_segments is not None and self.next_seq >= self.max_segments:
+                if max_segments is not None and self.next_seq >= max_segments:
                     return
                 seq = self.next_seq
                 self.next_seq += 1
                 self.stats.data_segments_sent += 1
             self._send_segment(seq, is_retransmit, now)
-            if pacing_rate is not None and pacing_rate > 0:
-                self._next_send_time = max(now, self._next_send_time) + 1.0 / pacing_rate
+            if paced:
+                next_time = self._next_send_time
+                self._next_send_time = (now if now > next_time else next_time) + pace_step
 
     def _send_segment(self, seq: int, is_retransmit: bool, now: float) -> None:
-        pipe_before = self.scoreboard.pipe()
+        pipe_before = self.scoreboard._pipe
         tx_state = self.rate_estimator.on_segment_sent(now, pipe_before, is_retransmit)
         self.scoreboard.on_transmit(seq, now, tx_state)
         self.stats.segments_sent += 1
         if is_retransmit:
             self.stats.retransmissions += 1
-        packet = Packet(
-            flow=CCA_FLOW,
-            seq=seq,
-            size_bytes=self.mss_bytes,
-            is_retransmit=is_retransmit,
-            sent_time=now,
-        )
-        if self._rto_handle is None:
+        packet = Packet(CCA_FLOW, seq, self.mss_bytes, is_retransmit, now)
+        if self._rto_timer._deadline is None:
             self._rearm_rto(now)
         self.transmit(packet)
 
     def _arm_pacing_timer(self) -> None:
-        if self._pacing_handle is not None and not self._pacing_handle.cancelled:
+        if self._pacing_event_pending:
             return
+        self._pacing_event_pending = True
         delay = max(0.0, self._next_send_time - self.scheduler.now)
-        self._pacing_handle = self.scheduler.schedule(delay, self._pacing_fire)
+        self.scheduler.schedule_fast(delay, self._pacing_fire)
 
     def _pacing_fire(self) -> None:
-        self._pacing_handle = None
+        self._pacing_event_pending = False
         self._try_send()
 
     # ------------------------------------------------------------------ #
@@ -258,15 +278,12 @@ class TcpSender:
     # ------------------------------------------------------------------ #
 
     def _rearm_rto(self, now: float) -> None:
-        if self._rto_handle is not None:
-            self._rto_handle.cancel()
-            self._rto_handle = None
         if not self.scoreboard.has_unacked_data():
+            self._rto_timer.disarm()
             return
-        self._rto_handle = self.scheduler.schedule(self.rtt_estimator.rto, self._on_rto)
+        self._rto_timer.arm(now + self.rtt_estimator.rto)
 
     def _on_rto(self) -> None:
-        self._rto_handle = None
         now = self.scheduler.now
         if not self.scoreboard.has_unacked_data():
             return

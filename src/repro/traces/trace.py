@@ -30,6 +30,12 @@ class PacketTrace:
     duration: float
     mss_bytes: int = 1500
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Lazily computed by :meth:`fingerprint`.  Valid because timestamps are
+    #: normalised once at construction and every mutation/crossover/triage
+    #: operator derives new traces through the constructor.
+    _fingerprint_cache: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -81,12 +87,19 @@ class PacketTrace:
         duration, MSS and the exact timestamp doubles — and nothing that
         does not (metadata is deliberately excluded, so mutation/crossover
         provenance tags never defeat the cache).
+
+        Computed once per trace: the evaluation cache keys every lookup and
+        store by it, and traces are immutable after construction.
         """
+        cached = self._fingerprint_cache
+        if cached is not None:
+            return cached
         digest = hashlib.blake2b(digest_size=16)
         digest.update(type(self).__name__.encode("ascii"))
         digest.update(struct.pack("<dq", self.duration, self.mss_bytes))
         digest.update(struct.pack(f"<{len(self.timestamps)}d", *self.timestamps))
-        return digest.hexdigest()
+        self._fingerprint_cache = result = digest.hexdigest()
+        return result
 
     # ------------------------------------------------------------------ #
     # Derived series

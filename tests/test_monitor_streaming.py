@@ -1,0 +1,260 @@
+"""Property tests: the streaming FlowMonitor matches the naive seed monitor.
+
+``ReferenceFlowMonitor`` below is the pre-fast-path implementation, kept
+verbatim: a single ``records`` list that every derived series re-scans.  The
+streaming monitor maintains per-flow columnar accumulators instead; these
+tests assert both produce identical derived series — on adversarial
+hand-driven event streams (hypothesis) and on randomized whole simulations.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random as random_module
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.monitor import FlowMonitor, PacketRecord
+from repro.netsim.packet import CCA_FLOW, CROSS_FLOW, Packet
+from repro.netsim.simulation import SimulationConfig, run_simulation
+from repro.tcp.cca import cca_factory
+
+FLOWS = [CCA_FLOW, CROSS_FLOW, "background"]
+
+
+@dataclass
+class ReferenceFlowMonitor:
+    """The seed implementation: one records list, O(N) rescans per metric."""
+
+    records: List[PacketRecord] = field(default_factory=list)
+    queue_depth: List[Tuple[float, int]] = field(default_factory=list)
+    _by_packet_id: Dict[int, PacketRecord] = field(default_factory=dict)
+
+    def on_ingress(self, packet: Packet, now: float, admitted: bool) -> None:
+        record = PacketRecord(
+            flow=packet.flow,
+            seq=packet.seq,
+            is_retransmit=packet.is_retransmit,
+            ingress_time=now,
+            dropped=not admitted,
+        )
+        self.records.append(record)
+        if admitted:
+            self._by_packet_id[packet.packet_id] = record
+
+    def on_egress(self, packet: Packet, now: float) -> None:
+        record = self._by_packet_id.get(packet.packet_id)
+        if record is not None:
+            record.egress_time = now
+            record.dequeue_time = packet.dequeue_time
+
+    def egress_times(self, flow: str) -> List[float]:
+        times = [
+            r.egress_time for r in self.records if r.flow == flow and r.egress_time is not None
+        ]
+        times.sort()
+        return times
+
+    def ingress_times(self, flow: str) -> List[float]:
+        times = [r.ingress_time for r in self.records if r.flow == flow]
+        times.sort()
+        return times
+
+    def drops(self, flow: str) -> int:
+        return sum(1 for r in self.records if r.flow == flow and r.dropped)
+
+    def delivered_count(self, flow: str) -> int:
+        return sum(1 for r in self.records if r.flow == flow and r.egress_time is not None)
+
+    def sent_count(self, flow: str) -> int:
+        return sum(1 for r in self.records if r.flow == flow)
+
+    def queueing_delays(self, flow: str) -> List[Tuple[float, float]]:
+        pairs = [
+            (r.egress_time, r.queueing_delay)
+            for r in self.records
+            if r.flow == flow and r.egress_time is not None and r.queueing_delay is not None
+        ]
+        pairs.sort()
+        return pairs
+
+    def windowed_rate(
+        self,
+        flow: str,
+        window: float,
+        duration: float,
+        mss_bytes: int = 1500,
+        use_ingress: bool = False,
+    ) -> List[Tuple[float, float]]:
+        times = self.ingress_times(flow) if use_ingress else self.egress_times(flow)
+        series: List[Tuple[float, float]] = []
+        start = 0.0
+        while start < duration:
+            end = min(start + window, duration)
+            lo = bisect.bisect_left(times, start)
+            hi = bisect.bisect_left(times, end)
+            count = hi - lo
+            span = end - start
+            rate_mbps = count * mss_bytes * 8.0 / span / 1e6 if span > 0 else 0.0
+            series.append((start, rate_mbps))
+            start += window
+        return series
+
+    def average_rate_mbps(self, flow: str, duration: float, mss_bytes: int = 1500) -> float:
+        if duration <= 0:
+            return 0.0
+        return self.delivered_count(flow) * mss_bytes * 8.0 / duration / 1e6
+
+    def loss_rate(self, flow: str) -> float:
+        sent = self.sent_count(flow)
+        if sent == 0:
+            return 0.0
+        return self.drops(flow) / sent
+
+
+def assert_monitors_match(monitor: FlowMonitor, reference: ReferenceFlowMonitor, duration: float):
+    """Every derived series must agree, for every flow ever seen (and one not)."""
+    for flow in FLOWS + ["never-seen"]:
+        assert monitor.sent_count(flow) == reference.sent_count(flow)
+        assert monitor.delivered_count(flow) == reference.delivered_count(flow)
+        assert monitor.drops(flow) == reference.drops(flow)
+        assert monitor.loss_rate(flow) == reference.loss_rate(flow)
+        assert monitor.ingress_times(flow) == reference.ingress_times(flow)
+        assert monitor.egress_times(flow) == reference.egress_times(flow)
+        assert monitor.queueing_delays(flow) == reference.queueing_delays(flow)
+        assert monitor.average_rate_mbps(flow, duration) == reference.average_rate_mbps(
+            flow, duration
+        )
+        for window in (0.25, 0.1):
+            for use_ingress in (False, True):
+                assert monitor.windowed_rate(
+                    flow, window, duration, use_ingress=use_ingress
+                ) == reference.windowed_rate(flow, window, duration, use_ingress=use_ingress)
+
+
+#: One synthetic packet journey: flow choice, inter-arrival gap, admission,
+#: whether/when it leaves the queue and reaches the sink.
+packet_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),                      # flow index
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),   # ingress gap
+        st.booleans(),                                              # admitted
+        st.booleans(),                                              # delivered (if admitted)
+        st.floats(min_value=0.0, max_value=0.3, allow_nan=False),   # queueing delay
+        st.floats(min_value=0.0, max_value=0.1, allow_nan=False),   # propagation
+        st.booleans(),                                              # dequeue stamp present
+        st.booleans(),                                              # is_retransmit
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=packet_events)
+def test_streaming_matches_reference_on_event_streams(events):
+    """Hand-driven ingress/egress streams: all derived series identical."""
+    monitor = FlowMonitor()
+    reference = ReferenceFlowMonitor()
+    now = 0.0
+    pending = []
+    seq_by_flow = {flow: 0 for flow in FLOWS}
+    for flow_idx, gap, admitted, delivered, qdelay, prop, stamped, retx in events:
+        flow = FLOWS[flow_idx]
+        now += gap
+        packet = Packet(flow, seq_by_flow[flow], is_retransmit=retx)
+        seq_by_flow[flow] += 1
+        if admitted:
+            packet.enqueue_time = now
+        monitor.on_ingress(packet, now, admitted)
+        reference.on_ingress(packet, now, admitted)
+        if admitted and delivered:
+            dequeue_time = now + qdelay
+            egress_time = dequeue_time + prop
+            pending.append((packet, dequeue_time if stamped else None, egress_time))
+    # Deliveries happen in egress-time order, as in a real simulation.
+    pending.sort(key=lambda item: item[2])
+    for packet, dequeue_time, egress_time in pending:
+        packet.dequeue_time = dequeue_time
+        monitor.on_egress(packet, egress_time)
+        reference.on_egress(packet, egress_time)
+
+    duration = now + 1.0
+    assert_monitors_match(monitor, reference, duration)
+    # The compatibility records view must mirror the reference's records.
+    assert [
+        (r.flow, r.seq, r.is_retransmit, r.ingress_time, r.egress_time, r.dequeue_time, r.dropped)
+        for r in monitor.records
+    ] == [
+        (r.flow, r.seq, r.is_retransmit, r.ingress_time, r.egress_time, r.dequeue_time, r.dropped)
+        for r in reference.records
+    ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    cca=st.sampled_from(["reno", "cubic", "bbr"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+    link_mode=st.booleans(),
+    packets=st.integers(min_value=0, max_value=400),
+)
+def test_streaming_matches_reference_on_random_simulations(cca, seed, link_mode, packets):
+    """Randomized short simulations: replaying the records through the naive
+    reference reproduces every derived series of the streaming monitor."""
+    rng = random_module.Random(seed)
+    duration = 0.8
+    times = sorted(rng.uniform(0.0, duration) for _ in range(packets))
+    config = SimulationConfig(duration=duration)
+    if link_mode:
+        result = run_simulation(cca_factory(cca), config, link_trace=times)
+    else:
+        result = run_simulation(cca_factory(cca), config, cross_traffic_times=times)
+
+    reference = ReferenceFlowMonitor(records=[
+        PacketRecord(
+            flow=r.flow,
+            seq=r.seq,
+            is_retransmit=r.is_retransmit,
+            ingress_time=r.ingress_time,
+            egress_time=r.egress_time,
+            dequeue_time=r.dequeue_time,
+            dropped=r.dropped,
+        )
+        for r in result.monitor.records
+    ])
+    assert_monitors_match(result.monitor, reference, duration)
+
+
+def test_records_view_unavailable_without_recording():
+    """record_series=False skips per-packet records but keeps derived series."""
+    config = SimulationConfig(duration=0.5, record_series=False)
+    result = run_simulation(cca_factory("reno"), config, cross_traffic_times=[0.1, 0.2])
+    assert result.monitor.delivered_count(CCA_FLOW) > 0
+    assert result.monitor.egress_times(CCA_FLOW)
+    with pytest.raises(RuntimeError):
+        _ = result.monitor.records
+
+
+def test_lite_monitor_matches_full_derived_series():
+    """A record_series=False run produces identical derived series to the
+    default full-recording run (only the records/queue-depth views differ)."""
+    times = [0.05 * i for i in range(20)]
+    full = run_simulation(
+        cca_factory("reno"), SimulationConfig(duration=1.0), cross_traffic_times=times
+    )
+    lite = run_simulation(
+        cca_factory("reno"),
+        SimulationConfig(duration=1.0, record_series=False),
+        cross_traffic_times=times,
+    )
+    for flow in (CCA_FLOW, CROSS_FLOW):
+        assert full.monitor.egress_times(flow) == lite.monitor.egress_times(flow)
+        assert full.monitor.ingress_times(flow) == lite.monitor.ingress_times(flow)
+        assert full.monitor.queueing_delays(flow) == lite.monitor.queueing_delays(flow)
+        assert full.monitor.sent_count(flow) == lite.monitor.sent_count(flow)
+        assert full.monitor.delivered_count(flow) == lite.monitor.delivered_count(flow)
+        assert full.monitor.loss_rate(flow) == lite.monitor.loss_rate(flow)
