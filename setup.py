@@ -24,6 +24,7 @@ setup(
             "repro-trace = repro.cli:trace_main",
             "repro-campaign = repro.cli:campaign_main",
             "repro-triage = repro.cli:triage_main",
+            "repro-coverage = repro.cli:coverage_main",
         ]
     },
 )

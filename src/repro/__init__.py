@@ -26,6 +26,12 @@ from .campaign import (
     replay_corpus,
 )
 from .core import CCFuzz, FuzzConfig, FuzzResult, GenerationStats, Individual, Population
+from .coverage import (
+    BehaviorArchive,
+    BehaviorSignature,
+    extract_signature,
+    make_guidance,
+)
 from .exec import (
     EvaluationBackend,
     ProcessPoolBackend,
@@ -59,6 +65,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Bbr",
+    "BehaviorArchive",
+    "BehaviorSignature",
     "CCFuzz",
     "CampaignRunner",
     "CampaignSpec",
@@ -99,7 +107,9 @@ __all__ = [
     "compute_metrics",
     "create_backend",
     "dist_packets",
+    "extract_signature",
     "lowrate_attack_trace",
+    "make_guidance",
     "replay_corpus",
     "run_simulation",
     "triage_corpus",

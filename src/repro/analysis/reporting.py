@@ -165,6 +165,109 @@ def format_triage_report(report: Dict[str, object]) -> str:
     return "\n\n".join(sections)
 
 
+def format_coverage_map(archive, top: int = 10) -> str:
+    """ASCII behavior-coverage map of a :class:`~repro.coverage.BehaviorArchive`.
+
+    Per CCA, renders the goodput x stall-class occupancy plane (each cell of
+    the plane aggregates the loss/RTO/recovery descriptor axes behind it)
+    followed by the highest-scoring elites.  The full cell keys remain
+    available via ``repro-coverage map --json``.
+    """
+    from ..coverage.signature import GOODPUT_BUCKETS, STALL_CLASSES
+
+    elites = archive.cells()
+    if not elites:
+        return "behavior archive is empty (no cells observed)"
+    coverage = archive.coverage()
+    lines: List[str] = [
+        f"behavior coverage: {coverage['cells']} cells from "
+        f"{coverage['observations']} observations "
+        f"({coverage['improvements']} elite improvements)",
+        f"  cells by cca:   {coverage['by_cca']}",
+        f"  cells by stall: {coverage['by_stall']}",
+    ]
+
+    by_cca: Dict[str, List[object]] = {}
+    for elite in elites:
+        by_cca.setdefault(elite.signature.cca, []).append(elite)
+
+    for cca in sorted(by_cca):
+        plane: Dict[Tuple[int, str], int] = {}
+        for elite in by_cca[cca]:
+            signature = elite.signature
+            key = (signature.goodput_bucket, signature.stall_class)
+            plane[key] = plane.get(key, 0) + 1
+        lines.append("")
+        lines.append(f"{cca} — rows: goodput bucket (g0 starved .. g{GOODPUT_BUCKETS} full); "
+                     "cols: stall class; cell: distinct behavior cells")
+        header = "      " + "".join(f"{name:>8}" for name in STALL_CLASSES)
+        lines.append(header)
+        for bucket in range(GOODPUT_BUCKETS, -1, -1):
+            row = [f"  g{bucket:<3}"]
+            for name in STALL_CLASSES:
+                count = plane.get((bucket, name), 0)
+                row.append(f"{count if count else '.':>8}")
+            lines.append("".join(row))
+
+    scored = [elite for elite in elites if elite.score is not None]
+    scored.sort(key=lambda e: (-e.score, e.cell))
+    if scored:
+        rows = [
+            {
+                "cell": elite.cell,
+                "score": elite.score,
+                "visits": elite.visits,
+                "improvements": elite.improvements,
+                "trace": elite.trace_fingerprint[:12],
+            }
+            for elite in scored[:top]
+        ]
+        lines += ["", f"top {min(top, len(scored))} elite cells by score:", format_table(rows)]
+    return "\n".join(lines)
+
+
+def format_coverage_gaps(archive) -> str:
+    """Unfilled regions of the descriptor space (for ``repro-coverage gaps``).
+
+    The full descriptor grid is large by design, so the report shows per-axis
+    marginal coverage plus the empty cells of the goodput x stall plane —
+    the plane a fuzzing engineer can actually steer toward.
+    """
+    from ..coverage.signature import COUNT_BUCKET_MAX, GOODPUT_BUCKETS, STALL_CLASSES
+
+    elites = archive.cells()
+    if not elites:
+        return "behavior archive is empty (no cells observed)"
+    lines: List[str] = []
+    by_cca: Dict[str, List[object]] = {}
+    for elite in elites:
+        by_cca.setdefault(elite.signature.cca, []).append(elite)
+    for cca in sorted(by_cca):
+        signatures = [elite.signature for elite in by_cca[cca]]
+        goodput_seen = {s.goodput_bucket for s in signatures}
+        stall_seen = {s.stall_class for s in signatures}
+        loss_seen = {s.loss_bucket for s in signatures}
+        rto_seen = {s.rto_bucket for s in signatures}
+        plane_seen = {(s.goodput_bucket, s.stall_class) for s in signatures}
+        missing_plane = [
+            f"g{bucket}/{name}"
+            for bucket in range(GOODPUT_BUCKETS + 1)
+            for name in STALL_CLASSES
+            if (bucket, name) not in plane_seen
+        ]
+        lines.append(
+            f"{cca}: goodput {len(goodput_seen)}/{GOODPUT_BUCKETS + 1} buckets, "
+            f"stall {len(stall_seen)}/{len(STALL_CLASSES)} classes, "
+            f"loss {len(loss_seen)}/{COUNT_BUCKET_MAX + 1} buckets, "
+            f"rto {len(rto_seen)}/{COUNT_BUCKET_MAX + 1} buckets"
+        )
+        lines.append(
+            f"  empty goodput x stall cells ({len(missing_plane)}): "
+            + (", ".join(missing_plane[:20]) + (" ..." if len(missing_plane) > 20 else ""))
+        )
+    return "\n".join(lines)
+
+
 def format_generation_progress(generations: Sequence[object]) -> str:
     """Table of per-generation GA statistics (works with GenerationStats)."""
     rows = []

@@ -73,6 +73,11 @@ class CorpusEntry:
     rediscoveries: int = 0                 #: times the same trace was re-found
     derived_from: str = ""                 #: fingerprint this entry was distilled from
     triage: Dict[str, Any] = field(default_factory=dict)  #: minimization/robustness metadata
+    #: Behavior annotation: the serialized BehaviorSignature this trace
+    #: produced when discovered (its "cell" key groups entries by failure
+    #: mechanism; empty for entries never evaluated under the coverage
+    #: subsystem).
+    behavior: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -110,6 +115,7 @@ class CorpusEntry:
             "rediscoveries": self.rediscoveries,
             "derived_from": self.derived_from,
             "triage": dict(self.triage),
+            "behavior": dict(self.behavior),
             "trace": self.trace.to_dict(),
         }
 
@@ -131,6 +137,7 @@ class CorpusEntry:
             rediscoveries=int(payload.get("rediscoveries", 0)),
             derived_from=payload.get("derived_from", ""),
             triage=dict(payload.get("triage", {})),
+            behavior=dict(payload.get("behavior", {})),
         )
 
     def summary(self) -> Dict[str, Any]:
@@ -149,6 +156,7 @@ class CorpusEntry:
             "rediscoveries": self.rediscoveries,
             "derived_from": self.derived_from,
             "triaged": bool(self.triage),
+            "behavior_cell": self.behavior.get("cell", ""),
         }
 
 
@@ -203,6 +211,7 @@ class CorpusStore:
         condition: Optional[Dict[str, Any]] = None,
         derived_from: str = "",
         triage: Optional[Dict[str, Any]] = None,
+        behavior: Optional[Dict[str, Any]] = None,
     ) -> bool:
         """Insert a trace; returns True iff it was new (not a duplicate).
 
@@ -228,6 +237,7 @@ class CorpusStore:
             condition=dict(condition or {}),
             derived_from=derived_from,
             triage=dict(triage or {}),
+            behavior=dict(behavior or {}),
         )
         with self._lock:
             existing = self._index.get(fingerprint)
@@ -256,10 +266,29 @@ class CorpusStore:
                 old.generation_found = generation_found
                 old.campaign = campaign
                 old.condition = dict(condition or {})
+                if behavior:
+                    old.behavior = dict(behavior)
+            elif behavior and not old.behavior:
+                # A rediscovery may bring the first behavior annotation for an
+                # entry that predates the coverage subsystem.
+                old.behavior = dict(behavior)
             self._index[fingerprint] = old.summary()
             self._write_entry(old)
             self._write_index()
             return False
+
+    def annotate_behavior(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        """Attach (or replace) a behavior-signature annotation and persist it.
+
+        Used by ``repro-coverage map --rebuild`` to backfill entries that
+        predate the coverage subsystem.
+        """
+        with self._lock:
+            entry = self.get(fingerprint)
+            entry.behavior = dict(payload)
+            self._index[fingerprint] = entry.summary()
+            self._write_entry(entry)
+            self._write_index()
 
     def annotate_triage(self, fingerprint: str, payload: Dict[str, Any]) -> None:
         """Attach triage metadata to an existing entry and persist it.
@@ -379,6 +408,23 @@ class CorpusStore:
         rows.sort(key=rank)
         return [self.get(fingerprint).trace.copy() for fingerprint, _ in rows[:limit]]
 
+    def behavior_cells(self) -> Dict[str, List[str]]:
+        """Behavior cell -> fingerprints of the entries that landed in it.
+
+        Runs on the index alone (no trace files read); entries without a
+        behavior annotation are omitted.  This is the corpus-side dedupe
+        view: several stored traces sharing a cell are variations of one
+        failure mechanism.
+        """
+        with self._lock:
+            rows = list(self._index.items())
+        cells: Dict[str, List[str]] = {}
+        for fingerprint, row in sorted(rows):
+            cell = row.get("behavior_cell", "")
+            if cell:
+                cells.setdefault(cell, []).append(fingerprint)
+        return cells
+
     def stats(self) -> Dict[str, Any]:
         """Aggregate corpus composition (for reports)."""
         with self._lock:
@@ -386,15 +432,23 @@ class CorpusStore:
         by_mode: Dict[str, int] = {}
         by_cca: Dict[str, int] = {}
         by_origin: Dict[str, int] = {}
+        annotated = 0
+        cells = set()
         for row in rows:
             by_mode[row["mode"]] = by_mode.get(row["mode"], 0) + 1
             by_origin[row["origin"]] = by_origin.get(row["origin"], 0) + 1
             if row["cca"]:
                 by_cca[row["cca"]] = by_cca.get(row["cca"], 0) + 1
+            cell = row.get("behavior_cell", "")
+            if cell:
+                annotated += 1
+                cells.add(cell)
         return {
             "path": self.path,
             "entries": len(rows),
             "by_mode": by_mode,
             "by_cca": by_cca,
             "by_origin": by_origin,
+            "behavior_annotated": annotated,
+            "behavior_cells": len(cells),
         }

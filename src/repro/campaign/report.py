@@ -28,9 +28,17 @@ def format_campaign_report(result: CampaignResult) -> str:
         f"(+{sum(o.cache_hits for o in result.outcomes)} cache hits) "
         f"in {result.wall_time_s:.1f}s"
     )
-    return header + "\n\n" + format_campaign_summary(
+    body = header + "\n\n" + format_campaign_summary(
         result.summary_rows(), result.corpus_stats, result.cache_stats
     )
+    if result.coverage:
+        body += (
+            f"\n\nbehavior coverage ({result.spec.guidance} guidance): "
+            f"{result.coverage.get('cells', 0)} cells from "
+            f"{result.coverage.get('observations', 0)} observations; "
+            f"cells by cca: {result.coverage.get('by_cca', {})}"
+        )
+    return body
 
 
 def format_corpus_report(corpus: CorpusStore, top: int = 10) -> str:
@@ -41,6 +49,8 @@ def format_corpus_report(corpus: CorpusStore, top: int = 10) -> str:
         f"  by mode:   {stats['by_mode']}",
         f"  by origin: {stats['by_origin']}",
         f"  by cca:    {stats['by_cca']}",
+        f"  behavior:  {stats.get('behavior_annotated', 0)} annotated entries "
+        f"across {stats.get('behavior_cells', 0)} cells",
     ]
     # Ranked on the index alone (no trace files read); scores only compare
     # within one objective, so take the top N *per objective* — a global

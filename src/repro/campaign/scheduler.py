@@ -25,12 +25,14 @@ interleaving cannot change what any scenario sees.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.fuzzer import CCFuzz
+from ..coverage.archive import BehaviorArchive
 from ..exec.backend import EvaluationBackend, create_backend
 from ..exec.cache import TraceCache
 from ..scoring.objectives import make_score_function
@@ -55,6 +57,7 @@ class ScenarioOutcome:
     new_corpus_entries: int
     converged_generation: int
     wall_time_s: float
+    behavior_cells: int = 0                #: archive cells this scenario opened
 
     def summary_row(self) -> Dict[str, Any]:
         return {
@@ -64,6 +67,7 @@ class ScenarioOutcome:
             "cache_hits": self.cache_hits,
             "seeds": self.seeds_injected,
             "new_entries": self.new_corpus_entries,
+            "cells": self.behavior_cells,
             "generations": self.converged_generation + 1,
             "wall_s": round(self.wall_time_s, 2),
         }
@@ -79,6 +83,8 @@ class CampaignResult:
     cache_stats: Dict[str, Any]
     wall_time_s: float = 0.0
     attacks_registered: int = 0
+    #: Campaign-level behavior-coverage statistics (the shared archive).
+    coverage: Dict[str, Any] = field(default_factory=dict)
 
     def summary_rows(self) -> List[Dict[str, Any]]:
         return [outcome.summary_row() for outcome in self.outcomes]
@@ -89,6 +95,7 @@ class CampaignResult:
             "scenarios": self.summary_rows(),
             "corpus": dict(self.corpus_stats),
             "cache": dict(self.cache_stats),
+            "coverage": dict(self.coverage),
             "wall_time_s": round(self.wall_time_s, 2),
             "attacks_registered": self.attacks_registered,
             "total_evaluations": sum(o.evaluations for o in self.outcomes),
@@ -106,6 +113,7 @@ class CampaignRunner:
         *,
         backend: Optional[EvaluationBackend] = None,
         cache: Optional[TraceCache] = None,
+        archive: Optional[BehaviorArchive] = None,
         max_parallel: int = 1,
         register_attacks: bool = True,
         harvest_top_k: int = 3,
@@ -122,6 +130,19 @@ class CampaignRunner:
             )
         self.spec = spec
         self.corpus = corpus
+        # One behavior archive spans the whole campaign; a pre-existing
+        # behavior_map.json next to the corpus is resumed so coverage
+        # accumulates across campaigns like the corpus itself does.  Serial
+        # campaigns thread it straight through every scenario; parallel
+        # campaigns give each scenario a private archive and merge afterwards
+        # (see run()), keeping results independent of thread interleaving.
+        if archive is not None:
+            self.archive = archive
+        else:
+            map_path = BehaviorArchive.corpus_path(corpus.path)
+            self.archive = (
+                BehaviorArchive.load(map_path) if os.path.exists(map_path) else BehaviorArchive()
+            )
         self.max_parallel = max_parallel
         self.register_attacks = register_attacks
         self.harvest_top_k = harvest_top_k
@@ -157,6 +178,7 @@ class CampaignRunner:
         backend: EvaluationBackend,
         cache: Optional[TraceCache],
         seeds: List[PacketTrace],
+        archive: BehaviorArchive,
     ) -> ScenarioOutcome:
         started = time.perf_counter()
         fuzzer = CCFuzz(
@@ -166,12 +188,14 @@ class CampaignRunner:
             seed_traces=seeds,
             backend=backend,
             cache=cache,
+            archive=archive,
         )
         result = fuzzer.run()
         new_entries = 0
         for individual in result.top_individuals(self.harvest_top_k):
             if not individual.is_evaluated:
                 continue
+            behavior = individual.result_summary.get("behavior_signature")
             new_entries += self.corpus.add(
                 individual.trace,
                 scenario_id=scenario.scenario_id,
@@ -182,6 +206,7 @@ class CampaignRunner:
                 origin="fuzz",
                 campaign=self.spec.name,
                 condition=scenario.condition.to_dict(),
+                behavior=dict(behavior) if isinstance(behavior, dict) else None,
             )
         outcome = ScenarioOutcome(
             scenario=scenario,
@@ -193,12 +218,13 @@ class CampaignRunner:
             new_corpus_entries=new_entries,
             converged_generation=result.converged_generation,
             wall_time_s=time.perf_counter() - started,
+            behavior_cells=result.behavior_cells,
         )
         self._progress(
             f"[{scenario.scenario_id}] best={outcome.best_fitness:.4f} "
             f"evals={outcome.evaluations} hits={outcome.cache_hits} "
             f"seeds={outcome.seeds_injected} new={outcome.new_corpus_entries} "
-            f"({outcome.wall_time_s:.1f}s)"
+            f"cells={outcome.behavior_cells} ({outcome.wall_time_s:.1f}s)"
         )
         return outcome
 
@@ -239,31 +265,55 @@ class CampaignRunner:
                 thread_safe=True,
             )
         outcomes: List[ScenarioOutcome] = []
+        scenario_archives: List[BehaviorArchive] = []
+        archive_baseline: Optional[BehaviorArchive] = None
         try:
             if self.max_parallel == 1:
                 # Serial: later scenarios see (and are seeded by) everything
-                # earlier scenarios put into the corpus.
+                # earlier scenarios put into the corpus — and, with coverage
+                # guidance, every cell earlier scenarios opened in the shared
+                # archive.
                 for scenario in scenarios:
                     seeds = self._scenario_seeds(scenario)
-                    outcomes.append(self._run_scenario(scenario, backend, cache, seeds))
+                    outcomes.append(
+                        self._run_scenario(scenario, backend, cache, seeds, self.archive)
+                    )
             else:
                 # Parallel: seeds come from the corpus snapshot at launch so
-                # thread interleaving cannot change any scenario's inputs;
-                # all coordinator threads feed the one shared pool.
+                # thread interleaving cannot change any scenario's inputs.
+                # Each scenario likewise runs on its *own* snapshot of the
+                # campaign archive (novelty/elites guidance read the archive
+                # during selection, so a concurrently-mutated shared archive
+                # would make results depend on thread interleaving); the
+                # snapshots are merged back baseline-aware in matrix order.
                 seed_snapshot = [self._scenario_seeds(scenario) for scenario in scenarios]
+                archive_baseline = self.archive.snapshot()
+                scenario_archives = [self.archive.snapshot() for _ in scenarios]
                 with ThreadPoolExecutor(
                     max_workers=min(self.max_parallel, len(scenarios)),
                     thread_name_prefix="repro-campaign",
                 ) as pool:
                     outcomes = list(
                         pool.map(
-                            lambda pair: self._run_scenario(pair[0], backend, cache, pair[1]),
-                            zip(scenarios, seed_snapshot),
+                            lambda args: self._run_scenario(*args),
+                            (
+                                (scenario, backend, cache, seeds, archive)
+                                for scenario, seeds, archive in zip(
+                                    scenarios, seed_snapshot, scenario_archives
+                                )
+                            ),
                         )
                     )
         finally:
             if owns_backend:
                 backend.close()
+            # Merge and persist the behavior map even if a scenario failed
+            # mid-campaign: completed scenarios already wrote their corpus
+            # entries (and mutated their archives in place), and the coverage
+            # CLI and future campaigns resume the map from here.
+            for archive in scenario_archives:
+                self.archive.merge(archive, baseline=archive_baseline)
+            self.archive.save(BehaviorArchive.corpus_path(self.corpus.path))
         return CampaignResult(
             spec=self.spec,
             outcomes=outcomes,
@@ -271,4 +321,5 @@ class CampaignRunner:
             cache_stats=dict(cache.stats()),
             wall_time_s=time.perf_counter() - started,
             attacks_registered=attacks_registered,
+            coverage=self.archive.coverage(),
         )

@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..core.fuzzer import MODES, FuzzConfig
+from ..coverage.guidance import GUIDANCE_MODES
 from ..netsim.simulation import SimulationConfig
 from ..scoring.objectives import OBJECTIVES
 from ..tcp.cca import CCA_FACTORIES
@@ -99,6 +100,7 @@ class Scenario:
     condition: NetworkCondition
     budget: GaBudget
     seed: int
+    guidance: str = "score"                #: search-guidance strategy for this cell
 
     @property
     def scenario_id(self) -> str:
@@ -129,6 +131,7 @@ class Scenario:
             average_rate_mbps=self.condition.bottleneck_rate_mbps,
             seed=self.seed,
             sim=self.sim_config(),
+            guidance=self.guidance,
         )
 
     def describe(self) -> Dict[str, Any]:
@@ -139,6 +142,7 @@ class Scenario:
             "objective": self.objective,
             "condition": self.condition.to_dict(),
             "seed": self.seed,
+            "guidance": self.guidance,
         }
 
 
@@ -164,6 +168,10 @@ class CampaignSpec:
     backend: str = "serial"
     workers: Optional[int] = None
     seed_limit: int = 4                    #: max corpus seeds injected per scenario
+    #: Search-guidance strategy every scenario runs under.  "score" keeps the
+    #: classic fitness-only campaign; "novelty"/"elites" schedule a
+    #: behavior-coverage campaign over the shared archive.
+    guidance: str = "score"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -186,6 +194,10 @@ class CampaignSpec:
                 raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
         if self.seed_limit < 0:
             raise ValueError("seed_limit must be non-negative")
+        if self.guidance not in GUIDANCE_MODES:
+            raise ValueError(
+                f"guidance must be one of {GUIDANCE_MODES}, got {self.guidance!r}"
+            )
         # Reuse FuzzConfig's backend/worker validation early, before any run.
         FuzzConfig(backend=self.backend, workers=self.workers)
 
@@ -210,6 +222,7 @@ class CampaignSpec:
                                 condition=condition,
                                 budget=self.budget,
                                 seed=_scenario_seed(self.seed, scenario_id),
+                                guidance=self.guidance,
                             )
                         )
         return scenarios
@@ -234,6 +247,7 @@ class CampaignSpec:
             "backend": self.backend,
             "workers": self.workers,
             "seed_limit": self.seed_limit,
+            "guidance": self.guidance,
         }
 
     def to_json(self) -> str:

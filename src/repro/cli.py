@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five entry points are installed with the package:
+Six entry points are installed with the package:
 
 * ``repro-fuzz`` — run the genetic search against a CCA and save the best
   traces found.
@@ -11,18 +11,23 @@ Five entry points are installed with the package:
   a persistent attack corpus (``run``/``replay``/``report``/``triage``).
 * ``repro-triage`` — minimize, robustness-validate and differentially
   compare one attack trace (a file, a builtin attack, or a corpus entry).
+* ``repro-coverage`` — inspect behavior-coverage archives
+  (``map``/``diff``/``gaps``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from .analysis.metrics import compute_metrics
 from .analysis.reporting import (
     ascii_chart,
+    format_coverage_gaps,
+    format_coverage_map,
     format_generation_progress,
     format_table,
     format_triage_report,
@@ -40,6 +45,13 @@ from .campaign import (
     write_campaign_report,
 )
 from .core.fuzzer import CCFuzz, FuzzConfig
+from .coverage import (
+    GUIDANCE_MODES,
+    BehaviorArchive,
+    BehaviorSignature,
+    diff_archives,
+    extract_signature,
+)
 from .exec.backend import create_backend
 from .netsim.simulation import SimulationConfig, run_simulation
 from .scoring.objectives import OBJECTIVES, make_score_function
@@ -106,6 +118,20 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable evaluation memoization (every trace is re-simulated)",
     )
+    parser.add_argument(
+        "--guidance",
+        choices=sorted(GUIDANCE_MODES),
+        default="score",
+        help="search guidance: 'score' is the paper's pure-fitness GA; "
+             "'novelty'/'elites' reward behaviorally diverse traces via the "
+             "MAP-Elites behavior archive",
+    )
+    parser.add_argument(
+        "--coverage-output",
+        type=str,
+        default=None,
+        help="write the run's behavior archive (behavior map JSON)",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -121,6 +147,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         workers=args.workers,
         use_cache=not args.no_cache,
+        guidance=args.guidance,
     )
     fuzzer = CCFuzz(
         CCA_FACTORIES[args.cca],
@@ -149,6 +176,12 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         )
     else:
         print(f"evaluations: {result.total_evaluations} simulated (cache disabled)")
+    coverage = result.coverage or {}
+    print(
+        f"behavior coverage ({result.guidance} guidance): "
+        f"{coverage.get('cells', 0)} cells from "
+        f"{coverage.get('observations', 0)} observations"
+    )
     print()
     rows = [
         {
@@ -179,6 +212,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         for individual in result.top_individuals(args.top):
             if not individual.is_evaluated:
                 continue
+            behavior = individual.result_summary.get("behavior_signature")
             added += store.add(
                 individual.trace,
                 scenario_id=f"cli/{args.cca}/{args.mode}/{args.objective}",
@@ -188,11 +222,16 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                 generation_found=individual.generation_born,
                 origin="fuzz",
                 condition=condition,
+                behavior=dict(behavior) if isinstance(behavior, dict) else None,
             )
         print(
             f"top-{args.top} written to corpus {args.output_dir} "
             f"({added} new, {len(store)} total entries)"
         )
+
+    if args.coverage_output and result.archive is not None:
+        result.archive.save(args.coverage_output)
+        print(f"behavior map written to {args.coverage_output}")
     return 0
 
 
@@ -488,6 +527,170 @@ def triage_main(argv: Optional[List[str]] = None) -> int:
             handle.write(report.triaged_trace.to_json())
         print(f"minimized trace written to {args.output_trace}")
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-coverage
+# --------------------------------------------------------------------------- #
+
+
+def _load_archive(path: str, parser: argparse.ArgumentParser) -> BehaviorArchive:
+    """Load a behavior archive from a map file or a campaign corpus dir.
+
+    A corpus directory is resolved through its ``behavior_map.json`` when a
+    campaign has written one; otherwise the archive is reconstructed from
+    the per-entry behavior annotations in the corpus index (no simulation).
+    """
+    if os.path.isdir(path):
+        map_path = BehaviorArchive.corpus_path(path)
+        if os.path.exists(map_path):
+            return BehaviorArchive.load(map_path)
+        if not CorpusStore.is_corpus(path):
+            parser.error(f"{path} is neither a behavior map nor a corpus directory")
+        archive = BehaviorArchive()
+        store = CorpusStore(path)
+        for entry in store.entries():
+            if not entry.behavior:
+                continue
+            try:
+                signature = BehaviorSignature.from_dict(entry.behavior)
+            except (KeyError, TypeError, ValueError):
+                continue
+            archive.observe(
+                signature,
+                entry.score,
+                entry.fingerprint,
+                trace=entry.trace,
+                provenance={"scenario": entry.scenario_id, "objective": entry.objective},
+            )
+        return archive
+    if not os.path.exists(path):
+        parser.error(f"no behavior map or corpus at {path}")
+    return BehaviorArchive.load(path)
+
+
+def coverage_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-coverage``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-coverage",
+        description=(
+            "Inspect behavior-coverage archives: render the MAP-Elites behavior "
+            "map of a fuzzing campaign, diff two maps, or list descriptor-space "
+            "gaps worth steering the search toward."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    map_parser = subparsers.add_parser("map", help="render a behavior map")
+    map_parser.add_argument(
+        "path", type=str,
+        help="behavior map JSON, or a campaign corpus directory",
+    )
+    map_parser.add_argument("--top", type=int, default=10, help="elite cells to list")
+    map_parser.add_argument("--json", action="store_true",
+                            help="print the raw archive JSON instead of the ASCII map")
+    map_parser.add_argument(
+        "--rebuild", action="store_true",
+        help="re-simulate every corpus entry to (re)compute its behavior "
+             "signature, annotate the corpus and rewrite behavior_map.json",
+    )
+
+    diff_parser = subparsers.add_parser("diff", help="compare two behavior maps")
+    diff_parser.add_argument("path_a", type=str, help="baseline map or corpus dir")
+    diff_parser.add_argument("path_b", type=str, help="comparison map or corpus dir")
+
+    gaps_parser = subparsers.add_parser(
+        "gaps", help="list under-covered regions of the descriptor space"
+    )
+    gaps_parser.add_argument("path", type=str, help="behavior map or corpus dir")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "map":
+        if args.rebuild:
+            if not (os.path.isdir(args.path) and CorpusStore.is_corpus(args.path)):
+                parser.error("--rebuild needs a corpus directory")
+            archive = _rebuild_corpus_coverage(args.path)
+            # Status goes to stderr so `--rebuild --json` still emits clean
+            # JSON on stdout.
+            print(
+                f"behavior map rebuilt and written to {BehaviorArchive.corpus_path(args.path)}",
+                file=sys.stderr,
+            )
+        else:
+            archive = _load_archive(args.path, parser)
+        if args.json:
+            print(json.dumps(archive.to_dict(), indent=1, sort_keys=True))
+        else:
+            print(format_coverage_map(archive, top=args.top))
+        return 0
+
+    if args.command == "diff":
+        archive_a = _load_archive(args.path_a, parser)
+        archive_b = _load_archive(args.path_b, parser)
+        delta = diff_archives(archive_a, archive_b)
+        print(
+            f"cells: {len(archive_a.cell_keys())} in A, {len(archive_b.cell_keys())} in B, "
+            f"{len(delta['shared'])} shared"
+        )
+        for label, cells in (("only in A", delta["only_a"]), ("only in B", delta["only_b"])):
+            print(f"\n{label} ({len(cells)}):")
+            for cell in cells[:25]:
+                print(f"  {cell}")
+            if len(cells) > 25:
+                print(f"  ... and {len(cells) - 25} more")
+        improved = [
+            (cell, diff) for cell, diff in delta["score_deltas"] if diff is not None and diff > 0
+        ]
+        if improved:
+            improved.sort(key=lambda item: -item[1])
+            print(f"\nshared cells where B's elite scores higher ({len(improved)}):")
+            for cell, diff in improved[:10]:
+                print(f"  {cell}  (+{diff:.4f})")
+        return 0
+
+    archive = _load_archive(args.path, parser)
+    print(format_coverage_gaps(archive))
+    return 0
+
+
+def _rebuild_corpus_coverage(corpus_dir: str) -> BehaviorArchive:
+    """Re-simulate a corpus to refresh behavior annotations + the map."""
+    from .exec.workers import simulate_packet_trace
+
+    store = CorpusStore(corpus_dir)
+    archive = BehaviorArchive()
+    skipped = 0
+    for entry in store.entries():
+        if not entry.cca:
+            # No recorded discovery CCA (builtin attacks, imports) means no
+            # discovery-time behavior to reproduce; annotating such entries
+            # with an arbitrary CCA's behavior would invent coverage no
+            # fuzzing run produced.
+            skipped += 1
+            continue
+        # record_series=False matches the fuzzing evaluations the original
+        # annotations came from, so a rebuild of an unchanged corpus
+        # reproduces the discovery-time signatures bit-for-bit.
+        sim_config = entry.sim_config().with_overrides(record_series=False)
+        result = simulate_packet_trace(CCA_FACTORIES[entry.cca], sim_config, entry.trace)
+        signature = extract_signature(result)
+        store.annotate_behavior(entry.fingerprint, signature.to_dict())
+        archive.observe(
+            signature,
+            entry.score,
+            entry.fingerprint,
+            trace=entry.trace,
+            provenance={"scenario": entry.scenario_id, "objective": entry.objective},
+        )
+    if skipped:
+        print(
+            f"skipped {skipped} entries with no recorded discovery CCA "
+            "(builtins/imports)",
+            file=sys.stderr,
+        )
+    archive.save(BehaviorArchive.corpus_path(corpus_dir))
+    return archive
 
 
 # --------------------------------------------------------------------------- #

@@ -22,9 +22,12 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..coverage.archive import BehaviorArchive
+from ..coverage.guidance import GUIDANCE_MODES, make_guidance
+from ..coverage.signature import signature_from_summary
 from ..exec.backend import BACKENDS, EvaluationBackend, SerialBackend, create_backend
 from ..exec.batch import evaluate_coalesced
-from ..exec.cache import TraceCache, cca_identity
+from ..exec.cache import TraceCache, cca_identity, make_cache_key
 from ..exec.workers import EvaluationJob, EvaluationOutcome, simulate_packet_trace
 from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult
 from ..scoring.base import Score, ScoreFunction
@@ -90,6 +93,14 @@ class FuzzConfig:
     workers: Optional[int] = None          #: pool size (None = one per CPU)
     use_cache: bool = True                 #: memoize (trace, cca, sim) -> score
 
+    # Behavior-coverage guidance.  "score" (default) is the paper's pure
+    # fitness search and stays bit-identical to the pre-coverage fuzzer;
+    # "novelty" blends archive rarity into selection and immigrates from
+    # under-covered cells; "elites" is MAP-Elites-style per-cell selection.
+    guidance: str = "score"
+    novelty_weight: float = 1.0            #: rarity bonus in fitness-spread units
+    immigrant_fraction: float = 0.25       #: offspring slots refilled from the archive
+
     # Simulation parameters.
     # Fuzzing evaluations only consume the monitor's derived series and the
     # sender's aggregate counters, so per-ACK cwnd/pacing/RTT time-series
@@ -122,6 +133,14 @@ class FuzzConfig:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.guidance not in GUIDANCE_MODES:
+            raise ValueError(
+                f"guidance must be one of {GUIDANCE_MODES}, got {self.guidance!r}"
+            )
+        if self.novelty_weight < 0:
+            raise ValueError("novelty_weight must be non-negative")
+        if not 0.0 <= self.immigrant_fraction <= 1.0:
+            raise ValueError("immigrant_fraction must be in [0, 1]")
         self.sim = replace(self.sim, duration=self.duration)
 
     @property
@@ -190,6 +209,7 @@ class CCFuzz:
         evaluator: Optional[Evaluator] = None,
         backend: Optional[EvaluationBackend] = None,
         cache: Optional[TraceCache] = None,
+        archive: Optional[BehaviorArchive] = None,
     ) -> None:
         self.cca_factory = cca_factory
         self.config = config or FuzzConfig()
@@ -201,6 +221,18 @@ class CCFuzz:
         self.cache_hits = 0
         self._injected_seed_fingerprints: List[str] = []
         self._selection = RankSelection(self.rng)
+        # The behavior archive is maintained for every run (cheap: signatures
+        # ride along in evaluation summaries), so even a default score-guided
+        # run reports its behavioral coverage; only non-"score" guidance lets
+        # the archive influence selection.  An injected archive (the campaign
+        # scheduler's) accumulates cells across runs.
+        self.archive = archive if archive is not None else BehaviorArchive()
+        self.new_cells = 0                 #: archive cells this run discovered
+        self._guidance = make_guidance(
+            self.config.guidance,
+            novelty_weight=self.config.novelty_weight,
+            immigrant_fraction=self.config.immigrant_fraction,
+        )
         # An injected backend/cache overrides the config; an injected backend
         # is owned by the caller and is not closed after run().
         self._injected_backend = backend
@@ -246,14 +278,25 @@ class CCFuzz:
             )
         return ScoreFunction(performance=LowUtilizationScore())
 
-    def _make_generator(self, seed: int):
+    def _make_generator(self, seed: int, k_agg: Optional[float] = None, scale: float = 1.0):
+        """Trace generator for the configured mode.
+
+        ``k_agg``/``scale`` override the configured burstiness and packet
+        budget: the coverage-guided exploration restarts sweep generator
+        regimes the base configuration never samples (sparse low-rate
+        traces, maximally bursty traces), because that is where untouched
+        behavior cells live.  The initial population always uses the
+        configured regime (``k_agg=None``, ``scale=1.0``).
+        """
         cfg = self.config
+        if k_agg is None:
+            k_agg = cfg.k_agg
         if cfg.mode == "link":
             return LinkTraceGenerator(
                 duration=cfg.duration,
                 average_rate_mbps=cfg.average_rate_mbps,
                 mss_bytes=cfg.sim.mss_bytes,
-                k_agg=cfg.k_agg,
+                k_agg=k_agg,
                 rate_bound=cfg.rate_bound,
                 total_packets=cfg.total_link_packets,
                 seed=seed,
@@ -268,12 +311,16 @@ class CCFuzz:
                 )
             return TrafficTraceGenerator(
                 duration=cfg.duration,
-                max_packets=max_packets,
+                max_packets=max(1, int(round(max_packets * scale))),
                 mss_bytes=cfg.sim.mss_bytes,
-                k_agg=cfg.k_agg,
+                k_agg=k_agg,
                 seed=seed,
             )
-        return LossTraceGenerator(duration=cfg.duration, max_losses=cfg.max_losses, seed=seed)
+        return LossTraceGenerator(
+            duration=cfg.duration,
+            max_losses=max(1, int(round(cfg.max_losses * scale))),
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -320,7 +367,7 @@ class CCFuzz:
         backend = self._active_backend or SerialBackend()
         return backend.evaluate_batch(jobs)
 
-    def _evaluate_generation(self, model: IslandModel) -> Tuple[int, int]:
+    def _evaluate_generation(self, model: IslandModel, generation: int) -> Tuple[int, int]:
         """Evaluate every pending individual across all islands in one batch.
 
         Returns ``(simulations_run, cache_hits)``.
@@ -331,7 +378,7 @@ class CCFuzz:
         keys = None
         if self.cache is not None:
             keys = [
-                (
+                make_cache_key(
                     individual.trace.fingerprint(),
                     self.cca_key,
                     self._sim_fingerprint,
@@ -344,9 +391,37 @@ class CCFuzz:
         )
         for individual, (score, summary) in zip(pending, outcomes):
             self._apply_outcome(individual, score, summary)
+            self._observe_behavior(individual, generation)
         self.total_evaluations += simulations
         self.cache_hits += hits
         return simulations, hits
+
+    def _observe_behavior(self, individual: Individual, generation: int) -> None:
+        """Fold one evaluated individual into the behavior archive.
+
+        Draws no randomness and never feeds back into selection under the
+        default "score" guidance, so maintaining the archive keeps runs
+        bit-identical to the pre-coverage fuzzer.  External-evaluator
+        outcomes carry no signature and are skipped.
+        """
+        signature = signature_from_summary(individual.result_summary)
+        if signature is None:
+            return
+        outcome = self.archive.observe(
+            signature,
+            individual.fitness,
+            individual.trace.fingerprint(),
+            trace=individual.trace,
+            provenance={
+                "cca": self.cca_name,
+                "mode": self.config.mode,
+                "generation": generation,
+                "origin": individual.origin,
+                "objective": self._score_fingerprint,
+            },
+        )
+        if outcome == "new":
+            self.new_cells += 1
 
     # ------------------------------------------------------------------ #
     # Generation construction
@@ -372,9 +447,26 @@ class CCFuzz:
         available = self.config.population_size - self.config.k_elite
         return min(available, int(round(self.config.crossover_fraction * self.config.population_size)))
 
+    def _compatible_immigrant(self, trace: PacketTrace) -> bool:
+        """Whether an archive trace can join this run's population.
+
+        A shared (campaign-level) archive holds elites from other fuzzing
+        modes and durations; the GA's operators preserve both, so only
+        like-for-like traces are injectable.
+        """
+        expected = {"link": LinkTrace, "traffic": TrafficTrace, "loss": LossTrace}[
+            self.config.mode
+        ]
+        return type(trace) is expected and trace.duration == self.config.duration
+
     def _next_generation(self, population: Population, generation: int) -> Population:
         cfg = self.config
-        ranked = population.sorted_by_fitness()
+        if self._guidance.name == "score":
+            # The exact pre-coverage path: pure fitness ranking, no archive
+            # reads, no extra rng draws — bit-identical by construction.
+            ranked = population.sorted_by_fitness()
+        else:
+            ranked = self._guidance.rank(population, self.archive)
         next_population = Population()
 
         # With the cache enabled, elite clones are left unevaluated and served
@@ -398,11 +490,55 @@ class CCFuzz:
                 Individual(trace=child_trace, generation_born=generation, origin="crossover")
             )
 
-        mutation_count = cfg.population_size - len(next_population)
+        # Archive immigrants take offspring slots before mutations are drawn
+        # (never elite slots); only non-"score" guidance requests any, so the
+        # default path reaches select_many with an untouched rng.  Half of the
+        # immigrant slots are *exploration restarts* — fresh generator draws —
+        # because mutants of known elites mostly land in already-filled cells,
+        # while fresh traces sample the whole behavior space the way the
+        # initial generation did.
+        slots = cfg.population_size - len(next_population)
+        immigrant_traces: List[PacketTrace] = []
+        fresh_traces: List[PacketTrace] = []
+        wanted = self._guidance.immigrant_count(slots)
+        if wanted:
+            fresh_count = wanted // 2
+            immigrant_traces = [
+                trace
+                for trace in self._guidance.immigrants(
+                    self.archive, wanted - fresh_count, self.rng
+                )
+                if self._compatible_immigrant(trace)
+            ][: wanted - fresh_count]
+            # Each restart draws from a different generator regime: sparse
+            # and smooth through dense and maximally bursty.
+            for _ in range(fresh_count):
+                generator = self._make_generator(
+                    seed=self.rng.randrange(2**31),
+                    k_agg=self.rng.choice((0.01, 0.05, 0.2, 0.5)),
+                    scale=self.rng.choice((0.1, 0.3, 1.0)),
+                )
+                fresh_traces.append(generator.generate())
+
+        mutation_count = slots - len(immigrant_traces) - len(fresh_traces)
         for parent in self._selection.select_many(ranked, mutation_count):
             child_trace = self._mutate(parent.trace)
             next_population.add(
                 Individual(trace=child_trace, generation_born=generation, origin="mutation")
+            )
+        for trace in fresh_traces:
+            next_population.add(
+                Individual(trace=trace, generation_born=generation, origin="explore")
+            )
+        for trace in immigrant_traces:
+            # Hypermutation: immigrants exist to reach *new* cells, so they
+            # take several mutation steps away from their archive elite —
+            # single-step mutants mostly land back in the cell they came from.
+            mutated = trace
+            for _ in range(3):
+                mutated = self._mutate(mutated)
+            next_population.add(
+                Individual(trace=mutated, generation_born=generation, origin="immigrant")
             )
         return next_population
 
@@ -449,6 +585,7 @@ class CCFuzz:
             evaluations=evaluations,
             per_island_best=[island.best().fitness for island in model.islands],
             cache_hits=cache_hits,
+            behavior_cells=self.new_cells,
         )
 
     def _make_backend(self) -> Tuple[Optional[EvaluationBackend], bool]:
@@ -474,7 +611,7 @@ class CCFuzz:
         self._active_backend = backend
         try:
             while True:
-                evaluations, cache_hits = self._evaluate_generation(model)
+                evaluations, cache_hits = self._evaluate_generation(model, generation)
                 stats = self._generation_stats(model, generation, evaluations, cache_hits)
                 history.append(stats)
                 if progress is not None:
@@ -503,4 +640,8 @@ class CCFuzz:
             cache_hits=sum(stats.cache_hits for stats in history),
             cache_stats=dict(self.cache.stats()) if self.cache is not None else {},
             seed_fingerprints=list(self._injected_seed_fingerprints),
+            guidance=cfg.guidance,
+            behavior_cells=self.new_cells,
+            coverage=self.archive.coverage(),
+            archive=self.archive,
         )

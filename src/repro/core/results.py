@@ -25,6 +25,7 @@ class GenerationStats:
     evaluations: int = 0                   #: simulations actually run (cache misses)
     per_island_best: List[float] = field(default_factory=list)
     cache_hits: int = 0                    #: evaluations avoided by the trace cache
+    behavior_cells: int = 0                #: cumulative archive cells this run opened
 
 
 @dataclass
@@ -44,6 +45,14 @@ class FuzzResult:
     #: Fingerprints of the injected seed traces that made it into the initial
     #: population (corpus seeding provenance; empty for unseeded runs).
     seed_fingerprints: List[str] = field(default_factory=list)
+    #: Guidance strategy the search ran under ("score"/"novelty"/"elites").
+    guidance: str = "score"
+    #: Behavior-archive cells this run discovered (new cells, not visits).
+    behavior_cells: int = 0
+    #: Snapshot of the archive's coverage statistics at the end of the run.
+    coverage: Dict[str, Any] = field(default_factory=dict)
+    #: The behavior archive itself (shared object when one was injected).
+    archive: Optional[Any] = None
 
     @property
     def best_trace(self) -> PacketTrace:
@@ -84,4 +93,6 @@ class FuzzResult:
             "best_origin": self.best_individual.origin,
             "best_result": dict(self.best_individual.result_summary),
             "seed_traces": len(self.seed_fingerprints),
+            "guidance": self.guidance,
+            "behavior_cells": self.behavior_cells,
         }

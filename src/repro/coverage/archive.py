@@ -1,0 +1,369 @@
+"""MAP-Elites behavior archive: one elite attack per behavior cell.
+
+The archive maps :meth:`BehaviorSignature.cell_key` cells to the best trace
+seen in that cell (the *elite*), plus occupancy statistics that the novelty
+guidance turns into search signal:
+
+* ``visits`` — how many evaluations landed in the cell (rarity = scarce
+  visits), and
+* ``improvements`` — how often the cell's elite was displaced.
+
+Invariants (property-tested):
+
+* a cell's elite score is monotone non-decreasing,
+* observing the same outcome twice never changes the elite (idempotent
+  modulo the visit counter), and
+* ``save``/``load`` round-trips the archive exactly.
+
+The archive is always lock-protected: campaign scenario threads share one
+archive, and the lock costs nothing next to a simulation.  Scores from
+different objectives live on incomparable scales, so an elite is only
+displaced by a better score from the *same* objective (mirroring the corpus
+rediscovery rule).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..traces.trace import PacketTrace
+from .signature import SIGNATURE_SCHEMA, BehaviorSignature
+
+#: behavior_map.json schema version, bumped on incompatible layout changes.
+ARCHIVE_SCHEMA = 1
+
+#: File name the archive is serialized under inside a corpus directory.
+ARCHIVE_FILENAME = "behavior_map.json"
+
+
+@dataclass
+class CellElite:
+    """The best-scoring occupant of one behavior cell."""
+
+    cell: str
+    signature: BehaviorSignature
+    score: Optional[float]                 #: elite fitness (None for unscored imports)
+    trace_fingerprint: str
+    trace: Optional[PacketTrace]           #: the elite's trace (for reseeding)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    visits: int = 1
+    improvements: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "signature": self.signature.to_dict(),
+            "score": self.score,
+            "trace_fingerprint": self.trace_fingerprint,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+            "provenance": dict(self.provenance),
+            "visits": self.visits,
+            "improvements": self.improvements,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellElite":
+        trace_payload = payload.get("trace")
+        return cls(
+            cell=payload["cell"],
+            signature=BehaviorSignature.from_dict(payload["signature"]),
+            score=payload.get("score"),
+            trace_fingerprint=payload.get("trace_fingerprint", ""),
+            trace=PacketTrace.from_dict(trace_payload) if trace_payload else None,
+            provenance=dict(payload.get("provenance", {})),
+            visits=int(payload.get("visits", 1)),
+            improvements=int(payload.get("improvements", 0)),
+        )
+
+
+class BehaviorArchive:
+    """Thread-safe MAP-Elites archive of behavior cells."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._cells: Dict[str, CellElite] = {}
+        self.observations = 0              #: total outcomes observed
+        self.new_cells = 0                 #: observations that opened a cell
+        self.improvements = 0              #: observations that displaced an elite
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self,
+        signature: BehaviorSignature,
+        score: Optional[float],
+        trace_fingerprint: str,
+        trace: Optional[PacketTrace] = None,
+        provenance: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Record one evaluated outcome; returns "new", "improved" or "visit".
+
+        A cell's elite is displaced only by a strictly higher score from the
+        same objective (``provenance["objective"]``, when both record one) —
+        scores across objectives are incomparable, so a cross-objective
+        outcome only counts as a visit.
+        """
+        cell = signature.cell_key()
+        provenance = dict(provenance or {})
+        with self._lock:
+            self.observations += 1
+            elite = self._cells.get(cell)
+            if elite is None:
+                self._cells[cell] = CellElite(
+                    cell=cell,
+                    signature=signature,
+                    score=score,
+                    trace_fingerprint=trace_fingerprint,
+                    trace=trace.copy() if trace is not None else None,
+                    provenance=provenance,
+                )
+                self.new_cells += 1
+                return "new"
+            elite.visits += 1
+            comparable = (
+                elite.score is None
+                or elite.provenance.get("objective") == provenance.get("objective")
+            )
+            if score is not None and comparable and (elite.score is None or score > elite.score):
+                elite.signature = signature
+                elite.score = score
+                elite.trace_fingerprint = trace_fingerprint
+                elite.trace = trace.copy() if trace is not None else None
+                elite.provenance = provenance
+                elite.improvements += 1
+                self.improvements += 1
+                return "improved"
+            return "visit"
+
+    def snapshot(self) -> "BehaviorArchive":
+        """Deterministic deep copy (for per-scenario archives in campaigns)."""
+        return BehaviorArchive.from_dict(self.to_dict())
+
+    def merge(self, other: "BehaviorArchive", baseline: Optional["BehaviorArchive"] = None) -> int:
+        """Fold another archive in; returns the number of cells that changed.
+
+        Unlike re-observing each elite, merging preserves the occupancy
+        statistics: per-cell visits and improvements are summed (they drive
+        ``rarity()`` and ``least_visited()``), and the archive-level
+        observation counters aggregate, so a map assembled from per-scenario
+        archives reports the same coverage a shared archive would.
+
+        ``baseline`` handles archives that were *seeded from a snapshot of
+        this archive* (the parallel campaign scheduler): only ``other``'s
+        contribution beyond the baseline is folded in, so the inherited
+        cells' visits are not double-counted once per scenario.
+        """
+        changed = 0
+        base_cells: Dict[str, CellElite] = (
+            {elite.cell: elite for elite in baseline.cells()} if baseline is not None else {}
+        )
+        for elite in other.cells():
+            base = base_cells.get(elite.cell)
+            delta_visits = elite.visits - (base.visits if base is not None else 0)
+            delta_improvements = elite.improvements - (base.improvements if base is not None else 0)
+            elite_changed = base is None or (
+                elite.score != base.score or elite.trace_fingerprint != base.trace_fingerprint
+            )
+            if delta_visits == 0 and delta_improvements == 0 and not elite_changed:
+                continue                   # cell untouched beyond the baseline
+            with self._lock:
+                mine = self._cells.get(elite.cell)
+                if mine is None:
+                    # Cells absent here are also absent from the baseline
+                    # (the baseline is a snapshot of this archive), so the
+                    # deltas equal the full counters.
+                    self._cells[elite.cell] = CellElite(
+                        cell=elite.cell,
+                        signature=elite.signature,
+                        score=elite.score,
+                        trace_fingerprint=elite.trace_fingerprint,
+                        trace=elite.trace.copy() if elite.trace is not None else None,
+                        provenance=dict(elite.provenance),
+                        visits=delta_visits,
+                        improvements=delta_improvements,
+                    )
+                    self.new_cells += 1
+                    changed += 1
+                    continue
+                mine.visits += delta_visits
+                mine.improvements += delta_improvements
+                comparable = (
+                    mine.score is None
+                    or mine.provenance.get("objective") == elite.provenance.get("objective")
+                )
+                if (
+                    elite_changed
+                    and elite.score is not None
+                    and comparable
+                    and (mine.score is None or elite.score > mine.score)
+                ):
+                    mine.signature = elite.signature
+                    mine.score = elite.score
+                    mine.trace_fingerprint = elite.trace_fingerprint
+                    mine.trace = elite.trace.copy() if elite.trace is not None else None
+                    mine.provenance = dict(elite.provenance)
+                    mine.improvements += 1
+                    self.improvements += 1
+                    changed += 1
+        with self._lock:
+            self.observations += other.observations - (
+                baseline.observations if baseline is not None else 0
+            )
+            self.improvements += other.improvements - (
+                baseline.improvements if baseline is not None else 0
+            )
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)
+
+    def __contains__(self, cell: str) -> bool:
+        with self._lock:
+            return cell in self._cells
+
+    def cell_count(self) -> int:
+        return len(self)
+
+    def cell_keys(self) -> List[str]:
+        """All cell keys, sorted for deterministic iteration."""
+        with self._lock:
+            return sorted(self._cells)
+
+    def get(self, cell: str) -> Optional[CellElite]:
+        with self._lock:
+            return self._cells.get(cell)
+
+    def cells(self) -> List[CellElite]:
+        """Every cell elite, in sorted cell order."""
+        with self._lock:
+            return [self._cells[cell] for cell in sorted(self._cells)]
+
+    def visits(self, cell: str) -> int:
+        with self._lock:
+            elite = self._cells.get(cell)
+            return elite.visits if elite is not None else 0
+
+    def rarity(self, cell: str) -> float:
+        """Rarity bonus in [0, 1]: 1 for an unseen cell, decaying with visits."""
+        count = self.visits(cell)
+        if count <= 0:
+            return 1.0
+        return 1.0 / math.sqrt(count)
+
+    def least_visited(self, count: int) -> List[CellElite]:
+        """The ``count`` least-occupied cells (deterministic tie-break)."""
+        if count <= 0:
+            return []
+        with self._lock:
+            ordered = sorted(self._cells.values(), key=lambda e: (e.visits, e.cell))
+        return ordered[:count]
+
+    def coverage(self) -> Dict[str, Any]:
+        """Aggregate occupancy statistics (for reports and FuzzResult)."""
+        with self._lock:
+            elites = list(self._cells.values())
+            observations = self.observations
+            improvements = self.improvements
+        by_cca: Dict[str, int] = {}
+        by_stall: Dict[str, int] = {}
+        for elite in elites:
+            signature = elite.signature
+            by_cca[signature.cca] = by_cca.get(signature.cca, 0) + 1
+            by_stall[signature.stall_class] = by_stall.get(signature.stall_class, 0) + 1
+        return {
+            "cells": len(elites),
+            "observations": observations,
+            "improvements": improvements,
+            "by_cca": dict(sorted(by_cca.items())),
+            "by_stall": dict(sorted(by_stall.items())),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "schema": ARCHIVE_SCHEMA,
+                "signature_schema": SIGNATURE_SCHEMA,
+                "observations": self.observations,
+                "new_cells": self.new_cells,
+                "improvements": self.improvements,
+                "cells": {
+                    cell: self._cells[cell].to_dict() for cell in sorted(self._cells)
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BehaviorArchive":
+        schema = payload.get("schema", ARCHIVE_SCHEMA)
+        if schema != ARCHIVE_SCHEMA:
+            raise ValueError(f"behavior archive has schema {schema}, expected {ARCHIVE_SCHEMA}")
+        if payload.get("signature_schema", SIGNATURE_SCHEMA) != SIGNATURE_SCHEMA:
+            raise ValueError(
+                "behavior archive was built with an incompatible signature schema"
+            )
+        archive = cls()
+        archive.observations = int(payload.get("observations", 0))
+        archive.new_cells = int(payload.get("new_cells", 0))
+        archive.improvements = int(payload.get("improvements", 0))
+        for cell, cell_payload in payload.get("cells", {}).items():
+            archive._cells[cell] = CellElite.from_dict(cell_payload)
+        return archive
+
+    def save(self, path: str) -> str:
+        """Atomically write the archive as JSON; returns the path written."""
+        payload = self.to_dict()
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "BehaviorArchive":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    @staticmethod
+    def corpus_path(corpus_dir: str) -> str:
+        """Where the archive lives inside a campaign corpus directory."""
+        return os.path.join(str(corpus_dir), ARCHIVE_FILENAME)
+
+
+def diff_archives(a: BehaviorArchive, b: BehaviorArchive) -> Dict[str, Any]:
+    """Cell-level comparison of two archives (for ``repro-coverage diff``)."""
+    cells_a = set(a.cell_keys())
+    cells_b = set(b.cell_keys())
+    shared = sorted(cells_a & cells_b)
+    score_deltas: List[Tuple[str, Optional[float]]] = []
+    for cell in shared:
+        elite_a, elite_b = a.get(cell), b.get(cell)
+        if elite_a is None or elite_b is None:
+            continue
+        # Scores only compare within one objective (the archive's own
+        # displacement rule); cross-objective elites get no delta.
+        comparable = elite_a.provenance.get("objective") == elite_b.provenance.get("objective")
+        if elite_a.score is None or elite_b.score is None or not comparable:
+            score_deltas.append((cell, None))
+        else:
+            score_deltas.append((cell, elite_b.score - elite_a.score))
+    return {
+        "only_a": sorted(cells_a - cells_b),
+        "only_b": sorted(cells_b - cells_a),
+        "shared": shared,
+        "score_deltas": score_deltas,
+    }

@@ -16,7 +16,7 @@ from .backend import (
     create_backend,
 )
 from .batch import evaluate_coalesced
-from .cache import CacheKey, TraceCache, cca_identity
+from .cache import OUTCOME_SCHEMA, CacheKey, TraceCache, cca_identity, make_cache_key
 from .workers import EvaluationJob, EvaluationOutcome, evaluate_job, simulate_packet_trace
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "EvaluationBackend",
     "EvaluationJob",
     "EvaluationOutcome",
+    "OUTCOME_SCHEMA",
     "ProcessPoolBackend",
     "SerialBackend",
     "ThreadBackend",
@@ -32,6 +33,7 @@ __all__ = [
     "cca_identity",
     "create_backend",
     "evaluate_coalesced",
+    "make_cache_key",
     "evaluate_job",
     "simulate_packet_trace",
 ]

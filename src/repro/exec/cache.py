@@ -7,11 +7,13 @@ generation, migrants copied between islands, and duplicate offspring (the
 mutation operators regenerate *one side* of a split, so identical children
 recur surprisingly often late in a converged run).
 
-Keys combine four stable fingerprints — :meth:`PacketTrace.fingerprint`,
-the variant-aware CCA identity (:func:`cca_identity`),
+Keys combine the cached-value schema version (:data:`OUTCOME_SCHEMA`) with
+four stable fingerprints — :meth:`PacketTrace.fingerprint`, the
+variant-aware CCA identity (:func:`cca_identity`),
 :meth:`SimulationConfig.fingerprint` and :meth:`ScoreFunction.fingerprint` —
 so one cache can be shared across fuzzing runs against different CCAs,
-configs or scoring objectives without collisions.
+configs or scoring objectives without collisions, and an outcome produced
+under an older value layout is never misread.
 """
 
 from __future__ import annotations
@@ -26,8 +28,29 @@ from ..netsim.simulation import SimulationConfig
 from ..scoring.base import Score, stable_state
 from ..traces.trace import PacketTrace
 
-#: Cache key: (trace fp, cca identity, sim-config fp, score-function fp).
-CacheKey = Tuple[str, str, str, str]
+#: Version of the cached *value* layout.  v2 outcomes carry ``episodes`` and
+#: ``behavior_signature`` in the summary; folding the version into every key
+#: guarantees a cache populated by an older layout (e.g. one persisted or
+#: shared across processes in the future) can never serve a value the
+#: coverage subsystem would misread.
+OUTCOME_SCHEMA = "o2"
+
+#: Cache key: (outcome schema, trace fp, cca identity, sim fp, score fp).
+CacheKey = Tuple[str, str, str, str, str]
+
+
+def make_cache_key(
+    trace_fingerprint: str, cca_key: str, sim_fingerprint: str, score_fingerprint: str
+) -> CacheKey:
+    """Assemble a cache key from precomputed fingerprints.
+
+    The single place that knows the key layout: every producer (the fuzzer,
+    triage's :class:`~repro.triage.evaluation.BatchEvaluator`,
+    :meth:`TraceCache.make_key`) routes through here, so a future layout or
+    schema change cannot leave one call site mixing layouts in a shared
+    cache.
+    """
+    return (OUTCOME_SCHEMA, trace_fingerprint, cca_key, sim_fingerprint, score_fingerprint)
 
 
 def cca_identity(cca: Any) -> str:
@@ -85,7 +108,9 @@ class TraceCache:
     ) -> CacheKey:
         """Build a key; ``cca_key`` should come from :func:`cca_identity` and
         ``score_key`` from :meth:`ScoreFunction.fingerprint`."""
-        return (trace.fingerprint(), cca_key, sim_config.fingerprint(), score_key)
+        return make_cache_key(
+            trace.fingerprint(), cca_key, sim_config.fingerprint(), score_key
+        )
 
     # ------------------------------------------------------------------ #
     # Lookup / insertion

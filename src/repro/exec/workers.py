@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
+from ..coverage.signature import extract_signature
 from ..netsim.simulation import CcaFactory, SimulationConfig, SimulationResult, run_simulation
 from ..scoring.base import Score, ScoreFunction
 from ..traces.trace import LinkTrace, LossTrace, PacketTrace, TrafficTrace
@@ -54,8 +55,12 @@ def evaluate_job(job: EvaluationJob) -> EvaluationOutcome:
 
     Returns only small picklable values (a frozen :class:`Score` and a plain
     dict) — never the full :class:`SimulationResult`, whose per-packet series
-    would dominate inter-process transfer cost.
+    would dominate inter-process transfer cost.  The summary carries the
+    run's behavior signature, so coverage guidance and corpus annotation
+    work from cached outcomes without re-simulating.
     """
     result = simulate_packet_trace(job.cca_factory, job.sim_config, job.trace)
     score = job.score_function(result, job.trace)
-    return score, result.summary()
+    summary = result.summary()
+    summary["behavior_signature"] = extract_signature(result).to_dict()
+    return score, summary

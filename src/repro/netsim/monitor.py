@@ -52,7 +52,17 @@ class PacketRecord:
 class _FlowSeries:
     """Streaming accumulators for one flow."""
 
-    __slots__ = ("ingress_times", "egress_times", "delay_pairs", "sent", "delivered", "dropped")
+    __slots__ = (
+        "ingress_times",
+        "egress_times",
+        "delay_pairs",
+        "sent",
+        "delivered",
+        "dropped",
+        "first_egress",
+        "last_egress",
+        "max_inner_gap",
+    )
 
     def __init__(self) -> None:
         self.ingress_times: List[float] = []
@@ -61,6 +71,12 @@ class _FlowSeries:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        # Streaming delivery-gap accumulators (egress is time-ordered in a
+        # simulation): the largest inter-departure gap seen so far, plus the
+        # endpoints needed to account for the leading and trailing silence.
+        self.first_egress: Optional[float] = None
+        self.last_egress: Optional[float] = None
+        self.max_inner_gap = 0.0
 
 
 _EMPTY = _FlowSeries()
@@ -142,6 +158,14 @@ class FlowMonitor:
             return
         series.delivered += 1
         series.egress_times.append(now)
+        last = series.last_egress
+        if last is None:
+            series.first_egress = now
+        else:
+            gap = now - last
+            if gap > series.max_inner_gap:
+                series.max_inner_gap = gap
+        series.last_egress = now
         departed = dequeue_time if dequeue_time is not None else now
         series.delay_pairs.append((now, departed - ingress_time))
 
@@ -255,6 +279,38 @@ class FlowMonitor:
             series.append((start, rate_mbps))
             start += window
         return series
+
+    def max_egress_gap(self, flow: str, duration: float) -> float:
+        """Longest interval of ``[0, duration]`` with no delivered packet.
+
+        Includes the leading gap (start of run to first delivery) and the
+        trailing gap (last delivery to end of run); a flow that never
+        delivers anything stalls for the whole ``duration``.  Maintained
+        incrementally from the egress stream, so reading it is O(1) and it
+        stays available with ``record_series=False``.
+        """
+        series = self._flows.get(flow, _EMPTY)
+        if series.last_egress is None:
+            return duration
+        longest = series.first_egress            # leading gap, from t=0
+        if series.max_inner_gap > longest:
+            longest = series.max_inner_gap
+        tail_gap = duration - series.last_egress
+        if tail_gap > longest:
+            longest = tail_gap
+        return longest
+
+    def flow_episodes(self, flow: str, duration: float) -> Dict[str, float]:
+        """Single-pass per-flow episode counters (for scoring + signatures)."""
+        series = self._flows.get(flow, _EMPTY)
+        return {
+            "sent": series.sent,
+            "delivered": series.delivered,
+            "dropped": series.dropped,
+            "first_egress": series.first_egress,
+            "last_egress": series.last_egress,
+            "max_egress_gap": self.max_egress_gap(flow, duration),
+        }
 
     def average_rate_mbps(self, flow: str, duration: float, mss_bytes: int = 1500) -> float:
         """Average egress rate of ``flow`` over the whole run."""

@@ -137,6 +137,31 @@ class SimulationResult:
             return 0.0
         return self.throughput_mbps(flow) / self.config.bottleneck_rate_mbps
 
+    def episode_summary(self) -> Dict[str, Any]:
+        """Stable episode counters shared by scoring and signature extraction.
+
+        Everything here comes from single-pass streaming accumulators (the
+        monitor's per-flow counters, the sender's aggregate stats and the
+        CCA's uniform diagnostics), so it is available — and cheap — even
+        with ``record_series=False``.  Kept separate from :meth:`summary`
+        so the golden result digests captured from the seed stay valid.
+        """
+        diag = self.cca_diagnostics
+        flow = self.monitor.flow_episodes(CCA_FLOW, self.duration)
+        return {
+            "loss_events": int(diag.get("loss_events", 0)),
+            "rto_events": self.sender_stats.rto_count,
+            "recovery_entries": int(diag.get("recovery_entries", 0)),
+            "recovery_exits": int(diag.get("recovery_exits", 0)),
+            "retransmissions": self.sender_stats.retransmissions,
+            "spurious_retransmissions": self.sender_stats.spurious_retransmissions,
+            "fast_retransmit_entries": self.sender_stats.fast_retransmit_entries,
+            "cca_drops": self.monitor.drops(CCA_FLOW),
+            "delivered": flow["delivered"],
+            "max_egress_gap": flow["max_egress_gap"],
+            "state_transitions": dict(diag.get("state_transitions", {})),
+        }
+
     def summary(self) -> Dict[str, Any]:
         """Compact dictionary summary used by reports and the CLI."""
         return {

@@ -105,20 +105,12 @@ class StallScore(PerformanceScore):
     name = "stall"
 
     def __call__(self, result: SimulationResult) -> float:
-        times = result.monitor.egress_times(CCA_FLOW)
+        # The monitor maintains the longest delivery gap incrementally (the
+        # same accumulator backs behavior-signature extraction), so this is
+        # O(1) instead of a rescan of the egress stream.  A flow with no
+        # deliveries stalls for the whole run.
         duration = result.duration
-        if not times:
-            return 1.0
-        # Single pass over the (already sorted) egress stream; no gap list.
-        longest = times[0]
-        for previous, current in zip(times, times[1:]):
-            gap = current - previous
-            if gap > longest:
-                longest = gap
-        tail_gap = duration - times[-1]
-        if tail_gap > longest:
-            longest = tail_gap
-        return longest / duration
+        return result.monitor.max_egress_gap(CCA_FLOW, duration) / duration
 
 
 class CompositeScore(PerformanceScore):

@@ -41,6 +41,14 @@ class CongestionControl(abc.ABC):
 
     def __init__(self) -> None:
         self._sender: Optional[Any] = None
+        # State-machine transition multiset ("OLD>NEW" -> count), maintained by
+        # the concrete algorithms via _track_state().  Bounded by the (small)
+        # number of distinct state pairs, so it is safe to keep for arbitrarily
+        # long simulations — unlike a full per-transition history.
+        self.state_transition_counts: Dict[str, int] = {}
+        self._last_tracked_state: Optional[str] = None
+        self.recovery_entries = 0
+        self.recovery_exits = 0
 
     def attach(self, sender: Any) -> None:
         """Bind the algorithm to the sender that owns it."""
@@ -85,9 +93,32 @@ class CongestionControl(abc.ABC):
     # Introspection
     # ------------------------------------------------------------------ #
 
+    def _track_state(self, state: str) -> None:
+        """Record a (possible) state-machine transition into the multiset."""
+        last = self._last_tracked_state
+        if last is None:
+            self._last_tracked_state = state
+            return
+        if state != last:
+            key = f"{last}>{state}"
+            counts = self.state_transition_counts
+            counts[key] = counts.get(key, 0) + 1
+            self._last_tracked_state = state
+
     def diagnostics(self) -> Dict[str, Any]:
-        """Algorithm-specific diagnostic counters for analysis and tests."""
-        return {}
+        """Algorithm-specific diagnostic counters for analysis and tests.
+
+        Concrete algorithms extend this; every registered CCA guarantees the
+        uniform keys ``state``, ``cwnd``, ``ssthresh`` (or its closest
+        equivalent), ``loss_events``, ``rto_events``, ``recovery_entries``,
+        ``recovery_exits`` and ``state_transitions`` so behavior-signature
+        extraction never special-cases an algorithm.
+        """
+        return {
+            "recovery_entries": self.recovery_entries,
+            "recovery_exits": self.recovery_exits,
+            "state_transitions": dict(self.state_transition_counts),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(cwnd={self.cwnd:.1f})"

@@ -46,6 +46,11 @@ class Bbr(CongestionControl):
     PROBE_BW = "PROBE_BW"
     PROBE_RTT = "PROBE_RTT"
 
+    #: Maximum retained ``state_history`` transitions (half verbatim head,
+    #: half most-recent ring); the overflow count is kept in
+    #: ``state_history_truncated``.
+    STATE_HISTORY_LIMIT = 256
+
     def __init__(
         self,
         initial_cwnd: float = 10.0,
@@ -103,8 +108,21 @@ class Bbr(CongestionControl):
         # Diagnostics for the paper's findings.
         self.premature_round_ends = 0
         self.rto_events = 0
+        self.loss_events = 0
         self.bandwidth_history: List[Tuple[float, float]] = []
-        self.state_history: List[Tuple[float, str]] = []
+        # State history is bounded: the first half of the budget is kept
+        # verbatim and the rest lives in a ring of the most recent
+        # transitions, so an adversarial trace that oscillates the state
+        # machine for hours cannot grow memory without limit.  The exact
+        # transition *counts* are always preserved in
+        # ``state_transition_counts`` (base class).
+        self._state_history_head: List[Tuple[float, str]] = []
+        self._state_history_tail: Deque[Tuple[float, str]] = deque(
+            maxlen=self.STATE_HISTORY_LIMIT // 2
+        )
+        self.state_history_truncated = 0    #: transitions dropped from the middle
+        self._last_history_state: Optional[str] = None
+        self._track_state(self.state)
 
     # ------------------------------------------------------------------ #
     # Derived estimates
@@ -162,10 +180,11 @@ class Bbr(CongestionControl):
         self._update_gains()
         self._update_cwnd(event)
 
+        self._track_state(self.state)
         if self.record_history:
             self.bandwidth_history.append((now, self.btlbw))
-            if not self.state_history or self.state_history[-1][1] != self.state:
-                self.state_history.append((now, self.state))
+            if self._last_history_state != self.state:
+                self._append_state_history(now, self.state)
 
     def _update_round(self, event: AckEvent) -> None:
         rs = event.rate_sample
@@ -327,16 +346,21 @@ class Bbr(CongestionControl):
     # ------------------------------------------------------------------ #
 
     def on_loss(self, now: float, in_flight: int) -> None:
+        self.loss_events += 1
         if not self.in_loss_recovery:
+            self.recovery_entries += 1
             self.prior_cwnd = max(self._cwnd, self.prior_cwnd if self.in_loss_recovery else 0.0)
         self.in_loss_recovery = True
         self._cwnd = max(float(in_flight), self.MIN_CWND)
+        self._track_state(self.state)
 
     def on_recovery_exit(self, now: float) -> None:
         if self.in_loss_recovery:
+            self.recovery_exits += 1
             self.in_loss_recovery = False
             target = max(self.cwnd_gain * self.bdp, self.MIN_CWND)
             self._cwnd = max(self.prior_cwnd, target)
+        self._track_state(self.state)
 
     def on_rto(self, now: float, in_flight: int) -> None:
         self.rto_events += 1
@@ -353,22 +377,46 @@ class Bbr(CongestionControl):
             # packet conservation rebuild the window from returning ACKs.
             self.in_loss_recovery = True
             self._cwnd = 1.0
+        self._track_state(self.state)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
+    def _append_state_history(self, now: float, state: str) -> None:
+        """Bounded append: verbatim head, most-recent-ring tail."""
+        self._last_history_state = state
+        if len(self._state_history_head) < self.STATE_HISTORY_LIMIT // 2:
+            self._state_history_head.append((now, state))
+            return
+        if len(self._state_history_tail) == self._state_history_tail.maxlen:
+            self.state_history_truncated += 1
+        self._state_history_tail.append((now, state))
+
+    @property
+    def state_history(self) -> List[Tuple[float, str]]:
+        """Recorded ``(time, state)`` transitions (bounded; see __init__)."""
+        return self._state_history_head + list(self._state_history_tail)
+
     def diagnostics(self) -> Dict[str, Any]:
-        return {
-            "state": self.state,
-            "btlbw": self.btlbw,
-            "rtprop": self.rtprop,
-            "bdp": self.bdp,
-            "round_count": self.round_count,
-            "premature_round_ends": self.premature_round_ends,
-            "rto_events": self.rto_events,
-            "filled_pipe": self.filled_pipe,
-            "probe_rtt_on_rto": self.probe_rtt_on_rto,
-            "pacing_gain": self.pacing_gain,
-            "cwnd_gain": self.cwnd_gain,
-        }
+        diag = super().diagnostics()
+        diag.update(
+            state=self.state,
+            # BBR has no slow-start threshold; the closest equivalent control
+            # is the pre-loss window it restores on recovery exit.
+            cwnd=self.cwnd,
+            ssthresh=self.prior_cwnd,
+            loss_events=self.loss_events,
+            btlbw=self.btlbw,
+            rtprop=self.rtprop,
+            bdp=self.bdp,
+            round_count=self.round_count,
+            premature_round_ends=self.premature_round_ends,
+            rto_events=self.rto_events,
+            filled_pipe=self.filled_pipe,
+            probe_rtt_on_rto=self.probe_rtt_on_rto,
+            pacing_gain=self.pacing_gain,
+            cwnd_gain=self.cwnd_gain,
+            state_history_truncated=self.state_history_truncated,
+        )
+        return diag

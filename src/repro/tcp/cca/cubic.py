@@ -76,6 +76,7 @@ class Cubic(CongestionControl):
         #: Largest single-ACK window jump observed while in slow start; the
         #: NS3 bug manifests as a jump far larger than ssthresh allows.
         self.max_slow_start_jump = 0.0
+        self._track_state(self.state)
 
     # ------------------------------------------------------------------ #
     # Window growth
@@ -88,11 +89,13 @@ class Cubic(CongestionControl):
                 self._hystart_check(event.now, event.rtt)
         acked = float(event.newly_acked)
         if acked <= 0 or self._in_recovery:
+            self._track_state(self.state)
             return
         if self._cwnd < self.ssthresh:
             self._slow_start(acked)
         else:
             self._congestion_avoidance(event.now, acked, event.rtt)
+        self._track_state(self.state)
 
     def _hystart_check(self, now: float, rtt: float) -> None:
         """HyStart delay-increase detection, evaluated on per-round minimum RTT.
@@ -168,12 +171,17 @@ class Cubic(CongestionControl):
 
     def on_loss(self, now: float, in_flight: int) -> None:
         self.loss_events += 1
+        if not self._in_recovery:
+            self.recovery_entries += 1
         self._register_loss(max(float(in_flight), self._cwnd))
         self._cwnd = max(self.ssthresh, self.min_cwnd)
         self._in_recovery = True
         self._exited_via_rto = False
+        self._track_state(self.state)
 
     def on_recovery_exit(self, now: float) -> None:
+        if self._in_recovery:
+            self.recovery_exits += 1
         self._in_recovery = False
         if self._exited_via_rto:
             # After an RTO the connection is in slow start from a one-segment
@@ -181,8 +189,10 @@ class Cubic(CongestionControl):
             # is precisely why the first post-RTO cumulative ACK can be huge
             # when it reaches the slow-start increase function (section 4.2).
             self._exited_via_rto = False
+            self._track_state(self.state)
             return
         self._cwnd = max(self.ssthresh, self.min_cwnd)
+        self._track_state(self.state)
 
     def on_rto(self, now: float, in_flight: int) -> None:
         self.rto_events += 1
@@ -190,6 +200,7 @@ class Cubic(CongestionControl):
         self._cwnd = self.min_cwnd
         self._in_recovery = False
         self._exited_via_rto = True
+        self._track_state(self.state)
 
     def _register_loss(self, window_at_loss: float) -> None:
         if self.fast_convergence and window_at_loss < self.w_max:
@@ -207,13 +218,26 @@ class Cubic(CongestionControl):
     def cwnd(self) -> float:
         return max(self._cwnd, self.min_cwnd)
 
+    @property
+    def state(self) -> str:
+        """Coarse state-machine phase (shared vocabulary with Reno)."""
+        if self._in_recovery:
+            return "recovery"
+        if self._cwnd < self.ssthresh:
+            return "slow_start"
+        return "congestion_avoidance"
+
     def diagnostics(self) -> Dict[str, Any]:
-        return {
-            "ssthresh": self.ssthresh,
-            "w_max": self.w_max,
-            "loss_events": self.loss_events,
-            "rto_events": self.rto_events,
-            "max_slow_start_jump": self.max_slow_start_jump,
-            "ns3_slow_start_bug": self.ns3_slow_start_bug,
-            "hystart_exits": self.hystart_exits,
-        }
+        diag = super().diagnostics()
+        diag.update(
+            state=self.state,
+            cwnd=self.cwnd,
+            ssthresh=self.ssthresh,
+            w_max=self.w_max,
+            loss_events=self.loss_events,
+            rto_events=self.rto_events,
+            max_slow_start_jump=self.max_slow_start_jump,
+            ns3_slow_start_bug=self.ns3_slow_start_bug,
+            hystart_exits=self.hystart_exits,
+        )
+        return diag

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..exec.backend import EvaluationBackend, SerialBackend
 from ..exec.batch import evaluate_coalesced
-from ..exec.cache import TraceCache, cca_identity
+from ..exec.cache import TraceCache, cca_identity, make_cache_key
 from ..exec.workers import EvaluationJob, EvaluationOutcome
 from ..netsim.simulation import CcaFactory, SimulationConfig
 from ..scoring.base import ScoreFunction
@@ -86,7 +86,7 @@ class BatchEvaluator:
         keys = None
         if self.cache is not None:
             keys = [
-                (
+                make_cache_key(
                     job.trace.fingerprint(),
                     self._cca_key(job.cca_factory),
                     self._sim_fingerprint(job.sim_config),

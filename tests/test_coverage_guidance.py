@@ -1,0 +1,308 @@
+"""Coverage-guided search: default bit-identity, novelty coverage, CLI.
+
+Two acceptance properties anchor this file:
+
+* ``guidance="score"`` (the default) is *bit-identical* to the
+  pre-coverage fuzzer — the GA smoke history golden in
+  ``test_sim_golden.py`` pins that against the seed capture, and the tests
+  here additionally pin it against an explicitly-archived run; and
+* ``guidance="novelty"`` discovers at least twice the behavior cells of
+  ``guidance="score"`` on the builtin CUBIC smoke configuration (fixed
+  seed, deterministic simulator — the comparison is exact, not
+  statistical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.attacks import cubic_two_burst_trace
+from repro.campaign import CampaignRunner, CampaignSpec, CorpusStore, GaBudget
+from repro.core.fuzzer import CCFuzz, FuzzConfig
+from repro.coverage import BehaviorArchive, make_guidance, signature_from_summary
+from repro.tcp.cca import cca_factory
+
+
+def _history(result):
+    return [
+        [s.best_fitness, s.mean_fitness, s.evaluations, s.cache_hits]
+        for s in result.generations
+    ]
+
+
+#: The builtin CUBIC smoke configuration: fuzz CUBIC in traffic mode,
+#: population seeded entirely from the builtin two-burst attack (a single
+#: behavior cell), strong elitism.  Score guidance exploits the attack;
+#: novelty guidance has to diversify to rank well.
+def _cubic_smoke_config(guidance: str) -> FuzzConfig:
+    return FuzzConfig(
+        mode="traffic",
+        population_size=6,
+        generations=15,
+        k_elite=4,
+        crossover_fraction=0.0,
+        duration=2.0,
+        seed=16,
+        guidance=guidance,
+        novelty_weight=2.0,
+        immigrant_fraction=1.0,
+    )
+
+
+def _run_cubic_smoke(guidance: str):
+    seeds = [cubic_two_burst_trace(duration=2.0)] * 6
+    fuzzer = CCFuzz(cca_factory("cubic"), config=_cubic_smoke_config(guidance), seed_traces=seeds)
+    return fuzzer.run()
+
+
+class TestScoreGuidanceBitIdentity:
+    def test_default_guidance_is_score(self):
+        assert FuzzConfig().guidance == "score"
+        assert CampaignSpec().guidance == "score"
+
+    def test_archive_maintenance_does_not_perturb_score_runs(self):
+        """An injected archive changes nothing about a score-guided search."""
+        config = dict(
+            mode="traffic", population_size=6, generations=3, duration=1.0,
+            max_traffic_packets=60, seed=21,
+        )
+        plain = CCFuzz(cca_factory("reno"), config=FuzzConfig(**config)).run()
+        archived = CCFuzz(
+            cca_factory("reno"), config=FuzzConfig(**config), archive=BehaviorArchive()
+        ).run()
+        assert _history(plain) == _history(archived)
+        assert plain.best_fitness == archived.best_fitness
+        assert plain.best_trace.fingerprint() == archived.best_trace.fingerprint()
+
+    def test_score_runs_still_report_coverage(self):
+        result = CCFuzz(
+            cca_factory("reno"),
+            config=FuzzConfig(
+                mode="traffic", population_size=6, generations=2, duration=1.0,
+                max_traffic_packets=60, seed=21,
+            ),
+        ).run()
+        assert result.guidance == "score"
+        assert result.behavior_cells >= 1
+        assert result.coverage["cells"] == result.behavior_cells
+        assert result.generations[-1].behavior_cells == result.behavior_cells
+
+
+class TestNoveltyCoverage:
+    def test_novelty_fills_at_least_twice_the_cells(self):
+        """The headline acceptance criterion (exact: fixed seed, pure simulator)."""
+        score_run = _run_cubic_smoke("score")
+        novelty_run = _run_cubic_smoke("novelty")
+        assert score_run.behavior_cells >= 1
+        assert novelty_run.behavior_cells >= 2 * score_run.behavior_cells, (
+            f"novelty filled {novelty_run.behavior_cells} cells vs "
+            f"{score_run.behavior_cells} for score"
+        )
+
+    def test_novelty_population_contains_immigrants_and_explorers(self):
+        result = _run_cubic_smoke("novelty")
+        origins = {ind.origin for ind in result.final_population}
+        assert origins & {"immigrant", "explore"}, origins
+
+    def test_immigrants_are_mode_and_duration_compatible(self):
+        result = _run_cubic_smoke("novelty")
+        for individual in result.final_population:
+            assert individual.trace.duration == 2.0
+
+    def test_elites_guidance_runs(self):
+        result = CCFuzz(
+            cca_factory("cubic"),
+            config=FuzzConfig(
+                mode="traffic", population_size=6, generations=3, duration=1.0,
+                max_traffic_packets=60, seed=3, guidance="elites",
+            ),
+        ).run()
+        assert result.guidance == "elites"
+        assert result.behavior_cells >= 1
+
+
+class TestValidation:
+    def test_unknown_guidance_rejected(self):
+        with pytest.raises(ValueError, match="guidance"):
+            FuzzConfig(guidance="random")
+        with pytest.raises(ValueError, match="guidance"):
+            CampaignSpec(guidance="random")
+        with pytest.raises(ValueError, match="guidance"):
+            make_guidance("random")
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(novelty_weight=-1.0)
+        with pytest.raises(ValueError):
+            FuzzConfig(immigrant_fraction=1.5)
+
+
+class TestCampaignCoverage:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        corpus_dir = str(tmp_path_factory.mktemp("coverage-corpus"))
+        spec = CampaignSpec(
+            name="coverage-smoke",
+            ccas=["cubic"],
+            modes=["traffic"],
+            objectives=["throughput"],
+            budget=GaBudget(population_size=4, generations=2, duration=1.5),
+            seed=0,
+            guidance="novelty",
+        )
+        corpus = CorpusStore(corpus_dir)
+        runner = CampaignRunner(spec, corpus, register_attacks=False)
+        result = runner.run()
+        return corpus_dir, corpus, result
+
+    def test_campaign_writes_behavior_map(self, campaign):
+        corpus_dir, _, result = campaign
+        map_path = BehaviorArchive.corpus_path(corpus_dir)
+        assert os.path.exists(map_path)
+        archive = BehaviorArchive.load(map_path)
+        assert len(archive) == result.coverage["cells"] >= 1
+        assert result.to_dict()["coverage"]["cells"] == len(archive)
+
+    def test_scenario_outcomes_report_cells(self, campaign):
+        _, _, result = campaign
+        assert sum(o.behavior_cells for o in result.outcomes) == result.coverage["cells"]
+        assert "cells" in result.outcomes[0].summary_row()
+
+    def test_corpus_entries_annotated_by_cell(self, campaign):
+        _, corpus, _ = campaign
+        annotated = [entry for entry in corpus.entries() if entry.behavior]
+        assert annotated, "harvested entries should carry behavior signatures"
+        for entry in annotated:
+            signature = signature_from_summary({"behavior_signature": entry.behavior})
+            assert signature is not None
+            assert entry.summary()["behavior_cell"] == signature.cell_key()
+        cells = corpus.behavior_cells()
+        assert set(cells) == {
+            entry.behavior["cell"] for entry in annotated
+        }
+
+    def test_parallel_novelty_campaign_is_deterministic(self, tmp_path):
+        """Thread interleaving must not change coverage-guided results."""
+
+        def run(corpus_dir):
+            spec = CampaignSpec(
+                name="parallel-coverage",
+                ccas=["reno", "cubic"],
+                modes=["traffic"],
+                objectives=["throughput"],
+                budget=GaBudget(population_size=4, generations=2, duration=1.0),
+                seed=5,
+                guidance="novelty",
+            )
+            runner = CampaignRunner(
+                spec, CorpusStore(corpus_dir), max_parallel=2, register_attacks=False
+            )
+            result = runner.run()
+            return (
+                [o.best_fingerprint for o in result.outcomes],
+                [o.behavior_cells for o in result.outcomes],
+                sorted(runner.archive.cell_keys()),
+            )
+
+        first = run(str(tmp_path / "a"))
+        second = run(str(tmp_path / "b"))
+        assert first == second
+
+    def test_campaign_resumes_existing_map(self, campaign):
+        corpus_dir, corpus, result = campaign
+        spec = CampaignSpec(
+            name="coverage-smoke-2",
+            ccas=["cubic"],
+            modes=["traffic"],
+            objectives=["throughput"],
+            budget=GaBudget(population_size=4, generations=1, duration=1.5),
+            seed=1,
+            guidance="novelty",
+        )
+        runner = CampaignRunner(spec, corpus, register_attacks=False)
+        second = runner.run()
+        # Coverage accumulates: the second campaign starts from the saved map.
+        assert second.coverage["cells"] >= result.coverage["cells"]
+
+
+class TestCoverageCli:
+    def test_fuzz_guidance_and_coverage_output(self, tmp_path, capsys):
+        from repro.cli import fuzz_main
+
+        map_path = str(tmp_path / "map.json")
+        exit_code = fuzz_main([
+            "--cca", "cubic", "--mode", "traffic", "--population", "4",
+            "--generations", "2", "--duration", "1.0", "--seed", "3",
+            "--guidance", "novelty", "--coverage-output", map_path,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "behavior coverage (novelty guidance)" in output
+        archive = BehaviorArchive.load(map_path)
+        assert len(archive) >= 1
+
+    def test_coverage_map_renders_campaign_corpus(self, tmp_path, capsys):
+        from repro.cli import campaign_main, coverage_main
+
+        corpus_dir = str(tmp_path / "corpus")
+        spec_path = str(tmp_path / "spec.json")
+        spec = CampaignSpec(
+            name="cli-coverage",
+            ccas=["cubic"],
+            modes=["traffic"],
+            objectives=["throughput"],
+            budget=GaBudget(population_size=4, generations=1, duration=1.0),
+            guidance="novelty",
+        )
+        with open(spec_path, "w") as handle:
+            handle.write(spec.to_json())
+        assert campaign_main(["run", "--spec", spec_path, "--corpus", corpus_dir]) == 0
+        capsys.readouterr()
+
+        assert coverage_main(["map", corpus_dir]) == 0
+        output = capsys.readouterr().out
+        assert "behavior coverage:" in output
+        assert "cubic" in output
+
+        assert coverage_main(["gaps", corpus_dir]) == 0
+        assert "empty goodput x stall cells" in capsys.readouterr().out
+
+        assert coverage_main(["diff", corpus_dir, corpus_dir]) == 0
+        assert "shared" in capsys.readouterr().out
+
+        assert coverage_main(["map", corpus_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells"]
+
+    def test_coverage_map_rebuild(self, tmp_path, capsys):
+        from repro.cli import coverage_main, fuzz_main
+
+        corpus_dir = str(tmp_path / "corpus")
+        assert fuzz_main([
+            "--cca", "cubic", "--population", "4", "--generations", "1",
+            "--duration", "1.0", "--output-dir", corpus_dir,
+        ]) == 0
+        original = {
+            entry.fingerprint: dict(entry.behavior)
+            for entry in CorpusStore(corpus_dir).entries()
+            if entry.behavior
+        }
+        assert original
+        capsys.readouterr()
+        assert coverage_main(["map", corpus_dir, "--rebuild", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "behavior map rebuilt" in captured.err
+        # --json output stays machine-clean even with --rebuild.
+        assert json.loads(captured.out)["cells"]
+        assert os.path.exists(BehaviorArchive.corpus_path(corpus_dir))
+        # Rebuilding an unchanged corpus reproduces the discovery-time
+        # signatures bit-for-bit (same record_series=False evaluation).
+        rebuilt = {
+            entry.fingerprint: dict(entry.behavior)
+            for entry in CorpusStore(corpus_dir).entries()
+        }
+        for fingerprint, behavior in original.items():
+            assert rebuilt[fingerprint] == behavior

@@ -23,6 +23,7 @@ EXAMPLES = {
     "bbr_stall_investigation.py": ["--duration", "1.5"],
     "link_fuzzing_with_realism.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
     "triage_attack.py": ["--duration", "2.0", "--budget", "20"],
+    "coverage_map.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
 }
 
 
