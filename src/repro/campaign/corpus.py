@@ -176,6 +176,7 @@ class CorpusStore:
         self._index: Dict[str, Dict[str, Any]] = {}
         self._loaded: Dict[str, CorpusEntry] = {}
         os.makedirs(self._entries_dir, exist_ok=True)
+        self._sweep_orphan_tmp_files()
         if os.path.exists(self._index_path):
             with open(self._index_path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -192,6 +193,32 @@ class CorpusStore:
     def is_corpus(path: str) -> bool:
         """Whether ``path`` already holds a corpus (has an index.json)."""
         return os.path.exists(os.path.join(str(path), "index.json"))
+
+    def _sweep_orphan_tmp_files(self) -> int:
+        """Remove ``*.tmp`` droppings left by interrupted atomic writes.
+
+        :func:`atomic_json_dump` guarantees the *target* file survives a
+        crash, but dying between the temp-file write and the rename orphans
+        the ``<name>.tmp`` next to it; sweeping on load keeps killed
+        campaigns from accumulating them.  Only this process may write to a
+        corpus it has opened (the single-writer assumption the whole
+        write-through design already makes).
+        """
+        removed = 0
+        for directory in (self.path, self._entries_dir):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                try:
+                    os.remove(os.path.join(directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     # ------------------------------------------------------------------ #
     # Writing

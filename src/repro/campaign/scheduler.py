@@ -21,20 +21,37 @@ deterministic functions of the injected seeds: serial campaigns (the
 default) are fully reproducible end to end, while parallel campaigns draw
 seeds from the corpus snapshot taken at launch so the schedule's
 interleaving cannot change what any scenario sees.
+
+Durability
+----------
+Unless journaling is disabled, every run appends its progress to an
+append-only :class:`~repro.journal.CampaignJournal` next to the corpus
+(``journal.jsonl``): the campaign spec and archive baseline at start, one
+lease per scenario, one fuzzer checkpoint plus behavior-map delta per
+evaluated generation (serial campaigns), a write-ahead record for every
+corpus insert, and one completion record per scenario.  :meth:`resume`
+replays that log after a crash and continues mid-campaign; for serial
+campaigns the resumed run's corpus, behavior map and summary digest are
+bit-identical to an uninterrupted run with the same seed (the crash-recovery
+harness in ``tests/crashsim.py`` enforces this under SIGKILL).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from threading import RLock
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..core.fuzzer import CCFuzz
 from ..coverage.archive import BehaviorArchive
 from ..exec.backend import EvaluationBackend, create_backend
 from ..exec.cache import TraceCache
+from ..journal import CampaignJournal, JournalView
 from ..scoring.objectives import make_score_function
 from ..tcp.cca import cca_factory
 from ..traces.trace import PacketTrace
@@ -42,6 +59,21 @@ from .corpus import CorpusStore
 from .spec import CampaignSpec, Scenario
 
 ProgressCallback = Callable[[str], None]
+
+#: Corpus-insert provenance fields that ride along in the journal WAL.
+_INSERT_KWARGS = (
+    "scenario_id",
+    "cca",
+    "objective",
+    "score",
+    "generation_found",
+    "origin",
+    "campaign",
+    "condition",
+    "derived_from",
+    "triage",
+    "behavior",
+)
 
 
 @dataclass
@@ -72,6 +104,35 @@ class ScenarioOutcome:
             "wall_s": round(self.wall_time_s, 2),
         }
 
+    def to_journal_dict(self) -> Dict[str, Any]:
+        """The JSON-safe fields a ``scenario_complete`` record carries."""
+        return {
+            "best_fitness": self.best_fitness,
+            "best_fingerprint": self.best_fingerprint,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "seeds_injected": self.seeds_injected,
+            "new_corpus_entries": self.new_corpus_entries,
+            "converged_generation": self.converged_generation,
+            "wall_time_s": self.wall_time_s,
+            "behavior_cells": self.behavior_cells,
+        }
+
+    @classmethod
+    def from_journal_dict(cls, scenario: Scenario, payload: Dict[str, Any]) -> "ScenarioOutcome":
+        return cls(
+            scenario=scenario,
+            best_fitness=float(payload["best_fitness"]),
+            best_fingerprint=str(payload["best_fingerprint"]),
+            evaluations=int(payload["evaluations"]),
+            cache_hits=int(payload["cache_hits"]),
+            seeds_injected=int(payload["seeds_injected"]),
+            new_corpus_entries=int(payload["new_corpus_entries"]),
+            converged_generation=int(payload["converged_generation"]),
+            wall_time_s=float(payload["wall_time_s"]),
+            behavior_cells=int(payload.get("behavior_cells", 0)),
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -88,6 +149,21 @@ class CampaignResult:
 
     def summary_rows(self) -> List[Dict[str, Any]]:
         return [outcome.summary_row() for outcome in self.outcomes]
+
+    def deterministic_digest(self) -> str:
+        """Stable digest of the per-scenario summary rows.
+
+        Wall-clock fields are excluded — they differ between any two runs —
+        so two campaigns with the same seed over the same corpus digest
+        equal, which is what the resume-equivalence tests pin.
+        """
+        rows = []
+        for row in self.summary_rows():
+            row = dict(row)
+            row.pop("wall_s", None)
+            rows.append(row)
+        canonical = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -118,6 +194,7 @@ class CampaignRunner:
         register_attacks: bool = True,
         harvest_top_k: int = 3,
         progress: Optional[ProgressCallback] = None,
+        journal: Union[CampaignJournal, bool] = True,
     ) -> None:
         if max_parallel < 1:
             raise ValueError("max_parallel must be at least 1")
@@ -149,6 +226,119 @@ class CampaignRunner:
         self._progress = progress or (lambda message: None)
         self._injected_backend = backend
         self._injected_cache = cache
+        # ``journal=True`` (the default) journals into the corpus directory;
+        # pass an explicit CampaignJournal to relocate it, or False to run
+        # without durability (in-memory corpora, micro-benchmarks).
+        if journal is True:
+            self._journal: Optional[CampaignJournal] = CampaignJournal(
+                CampaignJournal.corpus_path(corpus.path)
+            )
+        elif journal is False or journal is None:
+            self._journal = None
+        else:
+            self._journal = journal
+        self._insert_lock = RLock()
+        # Replayed ``corpus_insert`` events: scenario key -> fingerprint ->
+        # event payload.  Populated on resume so a re-run harvest replays the
+        # journaled intent instead of re-journaling it.
+        self._journaled_inserts: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._cell_index: Dict[str, str] = {}
+        self._resuming = False
+        self._resume_completed: Dict[str, Dict[str, Any]] = {}
+        self._resume_inflight: Dict[str, Dict[str, Any]] = {}
+        self._resume_cache_state: Optional[Dict[str, Any]] = None
+        self._parallel_baseline: Optional[BehaviorArchive] = None
+
+    # ------------------------------------------------------------------ #
+    # Resume
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def resume(
+        cls,
+        corpus_dir: str,
+        *,
+        backend: Optional[EvaluationBackend] = None,
+        cache: Optional[TraceCache] = None,
+        max_parallel: int = 1,
+        progress: Optional[ProgressCallback] = None,
+    ) -> "CampaignRunner":
+        """Reconstruct an interrupted campaign from its journal.
+
+        Replays ``<corpus_dir>/journal.jsonl`` into a consistent view, then
+        rebuilds: the spec and knobs from the start record, the corpus (the
+        insert WAL is re-applied idempotently, repairing writes the crash cut
+        off), the behavior archive (baseline + journaled deltas), every
+        completed scenario's outcome, and — for a serial campaign — the
+        in-flight scenario's full GA state from its latest generation
+        checkpoint, including the RNG and the shared evaluation cache.  The
+        returned runner's :meth:`run` picks up exactly where the dead process
+        stopped.
+        """
+        journal = CampaignJournal(CampaignJournal.corpus_path(corpus_dir))
+        view = journal.replay()
+        if view.campaign is None:
+            raise ValueError(
+                f"nothing to resume: no campaign journal under {corpus_dir!r}"
+            )
+        start = view.campaign
+        spec = CampaignSpec.from_dict(start["spec"])
+        corpus = CorpusStore(str(corpus_dir))
+        runner = cls(
+            spec,
+            corpus,
+            backend=backend,
+            cache=cache,
+            archive=BehaviorArchive.from_dict(start["archive_baseline"]),
+            max_parallel=max_parallel,
+            register_attacks=bool(start.get("register_attacks", True)),
+            harvest_top_k=int(start.get("harvest_top_k", 3)),
+            progress=progress,
+            journal=journal,
+        )
+        runner._prepare_resume(view, start)
+        return runner
+
+    def _prepare_resume(self, view: JournalView, start: Dict[str, Any]) -> None:
+        self._resuming = True
+        self._resume_completed = dict(view.completed)
+        self._resume_inflight = view.pending_checkpoints()
+        self._resume_cache_state = view.cache_state
+        # 1. Corpus repair: re-apply the insert WAL in journal order.  Every
+        #    apply is idempotent, so events whose corpus write survived the
+        #    crash are no-ops and the one the crash cut off is completed.
+        for data in view.inserts:
+            self._apply_insert_event(data)
+        self._journaled_inserts = {
+            scenario_key: dict(by_fingerprint)
+            for scenario_key, by_fingerprint in view.inserts_by_scenario.items()
+        }
+        # 2. Behavior archive: the constructor seeded ``self.archive`` with
+        #    the journaled baseline; fold the deltas back in.  The in-flight
+        #    scenario's deltas apply only up to its checkpoint generation
+        #    (deltas are journaled *before* their checkpoint, so a trailing
+        #    one may describe a generation the resumed search re-evaluates);
+        #    scenarios restarting from scratch contribute nothing.
+        limits = {
+            scenario_id: checkpoint["generation"]
+            for scenario_id, checkpoint in self._resume_inflight.items()
+        }
+        for scenario_id in view.leases:
+            if scenario_id not in view.completed and scenario_id not in limits:
+                limits[scenario_id] = -1
+        cells, counters = view.behavior_state(generation_limits=limits)
+        self.archive.apply_delta(cells, counters)
+        # 3. Parallel campaigns checkpoint no generations; their completed
+        #    scenarios carry private-archive snapshots instead, merged here
+        #    exactly the way an uninterrupted run's finally-block would.
+        self._parallel_baseline = BehaviorArchive.from_dict(start["archive_baseline"])
+        for scenario in self.spec.expand():
+            payload = view.completed.get(scenario.scenario_id)
+            if payload is not None and payload.get("archive") is not None:
+                self.archive.merge(
+                    BehaviorArchive.from_dict(payload["archive"]),
+                    baseline=self._parallel_baseline,
+                )
 
     # ------------------------------------------------------------------ #
     # Corpus bootstrap
@@ -160,8 +350,9 @@ class CampaignRunner:
 
         added = 0
         for name, trace in builtin_attack_traces(self.spec.budget.duration).items():
-            added += self.corpus.add(
+            added += self._journaled_add(
                 trace,
+                f"builtin/{name}",
                 scenario_id=f"builtin/{name}",
                 origin="builtin",
                 campaign=self.spec.name,
@@ -169,8 +360,104 @@ class CampaignRunner:
         return added
 
     # ------------------------------------------------------------------ #
+    # Journaled (write-ahead) corpus inserts
+    # ------------------------------------------------------------------ #
+
+    def _journaled_add(self, trace: PacketTrace, scenario_key: str, **kwargs: Any) -> bool:
+        """Write-ahead corpus insert; returns True iff the trace was new.
+
+        The intended insert is journaled (and fsync'd) *before* the corpus is
+        touched, so a crash between the two is replayed forward on resume —
+        the corpus can only ever lag the journal, never diverge from it.  On
+        a resumed run, inserts already journaled by the dead process replay
+        their recorded intent instead of being journaled again.
+        """
+        journal = self._journal
+        if journal is None:
+            return self.corpus.add(trace, **kwargs)
+        fingerprint = trace.fingerprint()
+        with self._insert_lock:
+            prior = self._journaled_inserts.get(scenario_key, {}).get(fingerprint)
+            if prior is not None:
+                self._apply_insert_event(prior)
+                return bool(prior["new"])
+            is_new = fingerprint not in self.corpus
+            rediscoveries_after: Optional[int] = None
+            if not is_new and kwargs.get("origin", "fuzz") not in ("builtin", "triage"):
+                rediscoveries_after = self.corpus.get(fingerprint).rediscoveries + 1
+            entry = {key: kwargs[key] for key in _INSERT_KWARGS if key in kwargs}
+            entry["trace"] = trace.to_dict()
+            journal.append(
+                "corpus_insert",
+                {
+                    "scenario_id": scenario_key,
+                    "fingerprint": fingerprint,
+                    "new": is_new,
+                    "rediscoveries_after": rediscoveries_after,
+                    "entry": entry,
+                },
+            )
+            return self.corpus.add(trace, **kwargs)
+
+    def _apply_insert_event(self, data: Dict[str, Any]) -> None:
+        """Idempotently apply one journaled ``corpus_insert`` to the corpus.
+
+        * a ``new`` insert is applied only if the fingerprint is still absent;
+        * a rediscovery is applied only while the stored entry's counter is
+          below the journaled post-insert value;
+        * a duplicate builtin/triage registration is a no-op (as it was live).
+        """
+        fingerprint = data["fingerprint"]
+        entry = data["entry"]
+        kwargs = {key: entry[key] for key in _INSERT_KWARGS if key in entry and entry[key] is not None}
+        trace = PacketTrace.from_dict(entry["trace"])
+        with self._insert_lock:
+            if data["new"]:
+                if fingerprint not in self.corpus:
+                    self.corpus.add(trace, **kwargs)
+            elif data.get("rediscoveries_after") is not None:
+                if self.corpus.get(fingerprint).rediscoveries < data["rediscoveries_after"]:
+                    self.corpus.add(trace, **kwargs)
+
+    # ------------------------------------------------------------------ #
     # Scenario execution
     # ------------------------------------------------------------------ #
+
+    def _make_checkpoint(
+        self, scenario: Scenario, cache: Optional[TraceCache]
+    ) -> Optional[Callable[[Dict[str, Any]], None]]:
+        """Per-generation journal hook (serial campaigns only).
+
+        Appends the behavior-map delta *first*, then the fuzzer checkpoint
+        (with a cache dump): resume trusts the checkpoint and applies deltas
+        only up to its generation, so a kill between the two appends cannot
+        leave the archive ahead of (or behind) the GA state.
+        """
+        journal = self._journal
+        if journal is None or self.max_parallel != 1:
+            return None
+
+        def checkpoint(state: Dict[str, Any]) -> None:
+            changed, self._cell_index = self.archive.delta_since(self._cell_index)
+            journal.append(
+                "behavior_delta",
+                {
+                    "scenario_id": scenario.scenario_id,
+                    "generation": state["generation"],
+                    "cells": changed,
+                    "counters": self.archive.counters(),
+                },
+            )
+            payload: Dict[str, Any] = {
+                "scenario_id": scenario.scenario_id,
+                "generation": state["generation"],
+                "fuzzer": state,
+            }
+            if cache is not None:
+                payload["cache"] = cache.dump()
+            journal.append("generation_checkpoint", payload)
+
+        return checkpoint
 
     def _run_scenario(
         self,
@@ -179,8 +466,20 @@ class CampaignRunner:
         cache: Optional[TraceCache],
         seeds: List[PacketTrace],
         archive: BehaviorArchive,
+        resume_state: Optional[Dict[str, Any]] = None,
     ) -> ScenarioOutcome:
         started = time.perf_counter()
+        journal = self._journal
+        parallel = self.max_parallel > 1
+        if journal is not None:
+            journal.append(
+                "scenario_lease",
+                {
+                    "scenario_id": scenario.scenario_id,
+                    "seed": scenario.seed,
+                    "campaign": self.spec.name,
+                },
+            )
         fuzzer = CCFuzz(
             cca_factory(scenario.cca),
             config=scenario.fuzz_config(),
@@ -190,14 +489,23 @@ class CampaignRunner:
             cache=cache,
             archive=archive,
         )
-        result = fuzzer.run()
+        result = fuzzer.run(
+            checkpoint=self._make_checkpoint(scenario, cache),
+            resume_from=resume_state["fuzzer"] if resume_state is not None else None,
+        )
         new_entries = 0
+        harvested: set = set()
         for individual in result.top_individuals(self.harvest_top_k):
             if not individual.is_evaluated:
                 continue
+            fingerprint = individual.trace.fingerprint()
+            if fingerprint in harvested:
+                continue
+            harvested.add(fingerprint)
             behavior = individual.result_summary.get("behavior_signature")
-            new_entries += self.corpus.add(
+            new_entries += self._journaled_add(
                 individual.trace,
+                scenario.scenario_id,
                 scenario_id=scenario.scenario_id,
                 cca=scenario.cca,
                 objective=scenario.objective,
@@ -220,6 +528,19 @@ class CampaignRunner:
             wall_time_s=time.perf_counter() - started,
             behavior_cells=result.behavior_cells,
         )
+        if journal is not None:
+            payload: Dict[str, Any] = {
+                "scenario_id": scenario.scenario_id,
+                "outcome": outcome.to_journal_dict(),
+            }
+            if parallel:
+                # Parallel scenarios mutate a private archive; its snapshot
+                # rides in the completion record so resume can merge it the
+                # way run()'s finally-block does.
+                payload["archive"] = archive.to_dict()
+            elif cache is not None:
+                payload["cache"] = cache.dump()
+            journal.append("scenario_complete", payload)
         self._progress(
             f"[{scenario.scenario_id}] best={outcome.best_fitness:.4f} "
             f"evals={outcome.evaluations} hits={outcome.cache_hits} "
@@ -245,15 +566,53 @@ class CampaignRunner:
         """Execute every scenario and return the campaign summary."""
         started = time.perf_counter()
         scenarios = self.spec.expand()
+        journal = self._journal
         self._progress(
             f"campaign {self.spec.name!r}: {len(scenarios)} scenarios "
             f"({len(self.spec.ccas)} CCAs x {len(self.spec.modes)} modes x "
             f"{len(self.spec.objectives)} objectives x {len(self.spec.conditions)} conditions)"
         )
         attacks_registered = 0
-        if self.register_attacks:
-            attacks_registered = self._register_builtin_attacks()
-            self._progress(f"registered {attacks_registered} builtin attack traces")
+        if self._resuming:
+            if journal is not None:
+                journal.append(
+                    "campaign_resume",
+                    {
+                        "campaign": self.spec.name,
+                        "completed": sorted(self._resume_completed),
+                        "inflight": sorted(self._resume_inflight),
+                    },
+                )
+            self._progress(
+                f"resuming: {len(self._resume_completed)}/{len(scenarios)} scenarios "
+                f"already complete, {len(self._resume_inflight)} checkpointed mid-run"
+            )
+            if self.register_attacks:
+                # Registration may have been cut off mid-way; _journaled_add
+                # replays already-journaled builtins idempotently and journals
+                # the rest fresh, so the returned count matches an
+                # uninterrupted run no matter where the crash landed.
+                attacks_registered = self._register_builtin_attacks()
+        else:
+            if journal is not None:
+                # A journal holding a previous campaign_start records a
+                # *different* campaign over this corpus; archive it so this
+                # run's log replays standalone.
+                journal.rotate()
+                journal.append(
+                    "campaign_start",
+                    {
+                        "campaign": self.spec.name,
+                        "spec": self.spec.to_dict(),
+                        "harvest_top_k": self.harvest_top_k,
+                        "register_attacks": self.register_attacks,
+                        "max_parallel": self.max_parallel,
+                        "archive_baseline": self.archive.to_dict(),
+                    },
+                )
+            if self.register_attacks:
+                attacks_registered = self._register_builtin_attacks()
+                self._progress(f"registered {attacks_registered} builtin attack traces")
 
         backend = self._injected_backend or create_backend(self.spec.backend, self.spec.workers)
         owns_backend = self._injected_backend is None
@@ -264,7 +623,26 @@ class CampaignRunner:
                 max_entries=max(8192, 8 * population * len(scenarios)),
                 thread_safe=True,
             )
-        outcomes: List[ScenarioOutcome] = []
+        if self._resume_cache_state is not None and cache is not None:
+            try:
+                cache.restore(self._resume_cache_state)
+            except ValueError:
+                # A dump from an older outcome schema cannot be trusted;
+                # resuming cold is still correct, just slower.
+                self._progress("journaled cache dump is stale; resuming with a cold cache")
+        _, self._cell_index = self.archive.delta_since({})
+
+        outcome_by_id: Dict[str, ScenarioOutcome] = {}
+        pending: List[Scenario] = []
+        for scenario in scenarios:
+            completed = self._resume_completed.get(scenario.scenario_id)
+            if completed is not None:
+                outcome_by_id[scenario.scenario_id] = ScenarioOutcome.from_journal_dict(
+                    scenario, completed["outcome"]
+                )
+                self._progress(f"[{scenario.scenario_id}] already complete (journal)")
+            else:
+                pending.append(scenario)
         scenario_archives: List[BehaviorArchive] = []
         archive_baseline: Optional[BehaviorArchive] = None
         try:
@@ -273,10 +651,15 @@ class CampaignRunner:
                 # earlier scenarios put into the corpus — and, with coverage
                 # guidance, every cell earlier scenarios opened in the shared
                 # archive.
-                for scenario in scenarios:
-                    seeds = self._scenario_seeds(scenario)
-                    outcomes.append(
-                        self._run_scenario(scenario, backend, cache, seeds, self.archive)
+                for scenario in pending:
+                    resume_state = self._resume_inflight.get(scenario.scenario_id)
+                    # A checkpointed scenario restores its population (seeds
+                    # included) from the snapshot; only fresh starts draw
+                    # seeds from the corpus.
+                    seeds = [] if resume_state is not None else self._scenario_seeds(scenario)
+                    outcome_by_id[scenario.scenario_id] = self._run_scenario(
+                        scenario, backend, cache, seeds, self.archive,
+                        resume_state=resume_state,
                     )
             else:
                 # Parallel: seeds come from the corpus snapshot at launch so
@@ -286,24 +669,33 @@ class CampaignRunner:
                 # during selection, so a concurrently-mutated shared archive
                 # would make results depend on thread interleaving); the
                 # snapshots are merged back baseline-aware in matrix order.
-                seed_snapshot = [self._scenario_seeds(scenario) for scenario in scenarios]
-                archive_baseline = self.archive.snapshot()
-                scenario_archives = [self.archive.snapshot() for _ in scenarios]
+                # A resumed parallel campaign snapshots the *journaled*
+                # baseline, so pending scenarios start from the same archive
+                # they would have seen uninterrupted.
+                seed_snapshot = [self._scenario_seeds(scenario) for scenario in pending]
+                archive_baseline = (
+                    self._parallel_baseline.snapshot()
+                    if self._parallel_baseline is not None and self._resuming
+                    else self.archive.snapshot()
+                )
+                scenario_archives = [archive_baseline.snapshot() for _ in pending]
                 with ThreadPoolExecutor(
-                    max_workers=min(self.max_parallel, len(scenarios)),
+                    max_workers=min(self.max_parallel, max(1, len(pending))),
                     thread_name_prefix="repro-campaign",
                 ) as pool:
-                    outcomes = list(
+                    for scenario, outcome in zip(
+                        pending,
                         pool.map(
                             lambda args: self._run_scenario(*args),
                             (
                                 (scenario, backend, cache, seeds, archive)
                                 for scenario, seeds, archive in zip(
-                                    scenarios, seed_snapshot, scenario_archives
+                                    pending, seed_snapshot, scenario_archives
                                 )
                             ),
-                        )
-                    )
+                        ),
+                    ):
+                        outcome_by_id[scenario.scenario_id] = outcome
         finally:
             if owns_backend:
                 backend.close()
@@ -314,6 +706,13 @@ class CampaignRunner:
             for archive in scenario_archives:
                 self.archive.merge(archive, baseline=archive_baseline)
             self.archive.save(BehaviorArchive.corpus_path(self.corpus.path))
+            if journal is not None:
+                journal.close()
+        outcomes = [
+            outcome_by_id[scenario.scenario_id]
+            for scenario in scenarios
+            if scenario.scenario_id in outcome_by_id
+        ]
         return CampaignResult(
             spec=self.spec,
             outcomes=outcomes,

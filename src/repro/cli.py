@@ -710,8 +710,13 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run a campaign spec and grow the corpus")
-    run_parser.add_argument("--spec", type=str, required=True, help="campaign spec JSON file")
+    run_parser.add_argument("--spec", type=str, default=None, help="campaign spec JSON file")
     run_parser.add_argument("--corpus", type=str, required=True, help="corpus directory")
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from the corpus journal "
+             "(the spec is recovered from the journal; --spec is not allowed)",
+    )
     run_parser.add_argument(
         "--backend", choices=["serial", "thread", "process"], default=None,
         help="override the spec's evaluation backend",
@@ -768,27 +773,45 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "run":
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            spec = CampaignSpec.from_json(handle.read())
-        if args.backend is not None:
-            spec.backend = args.backend
-        if args.workers is not None:
-            if args.workers < 1:
-                parser.error("--workers must be at least 1")
-            spec.workers = args.workers
         if args.max_parallel < 1:
             parser.error("--max-parallel must be at least 1")
         if args.harvest_top_k < 1:
             parser.error("--harvest-top-k must be at least 1")
-        corpus = CorpusStore(args.corpus)
-        runner = CampaignRunner(
-            spec,
-            corpus,
-            max_parallel=args.max_parallel,
-            register_attacks=not args.no_attacks,
-            harvest_top_k=args.harvest_top_k,
-            progress=print,
-        )
+        if args.workers is not None and args.workers < 1:
+            parser.error("--workers must be at least 1")
+        if args.resume:
+            if args.spec is not None:
+                parser.error("--resume recovers the spec from the journal; drop --spec")
+            try:
+                runner = CampaignRunner.resume(
+                    args.corpus,
+                    max_parallel=args.max_parallel,
+                    progress=print,
+                )
+            except ValueError as exc:
+                parser.error(str(exc))
+            if args.backend is not None:
+                runner.spec.backend = args.backend
+            if args.workers is not None:
+                runner.spec.workers = args.workers
+        else:
+            if args.spec is None:
+                parser.error("one of --spec or --resume is required")
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = CampaignSpec.from_json(handle.read())
+            if args.backend is not None:
+                spec.backend = args.backend
+            if args.workers is not None:
+                spec.workers = args.workers
+            corpus = CorpusStore(args.corpus)
+            runner = CampaignRunner(
+                spec,
+                corpus,
+                max_parallel=args.max_parallel,
+                register_attacks=not args.no_attacks,
+                harvest_top_k=args.harvest_top_k,
+                progress=print,
+            )
         result = runner.run()
         print()
         print(format_campaign_report(result))

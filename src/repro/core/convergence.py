@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 
 @dataclass
@@ -45,3 +45,16 @@ class ConvergenceCriterion:
     @property
     def stale_generations(self) -> int:
         return self._stale_generations
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint serialisation
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, object]:
+        """Mutable progress state (the configuration lives in the fields)."""
+        return {"best": self._best, "stale_generations": self._stale_generations}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        best = state["best"]
+        self._best = float(best) if best is not None else None  # type: ignore[arg-type]
+        self._stale_generations = int(state["stale_generations"])  # type: ignore[arg-type]

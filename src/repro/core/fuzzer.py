@@ -54,6 +54,14 @@ Evaluator = Callable[[PacketTrace], Tuple[Score, Dict[str, object]]]
 
 ProgressCallback = Callable[[GenerationStats], None]
 
+#: Called after every evaluated generation with a JSON-safe snapshot of the
+#: full mid-run state (see :meth:`CCFuzz.snapshot_state`); the campaign
+#: journal persists these so a killed run can resume bit-identically.
+CheckpointCallback = Callable[[Dict[str, object]], None]
+
+#: Version of the snapshot layout produced by :meth:`CCFuzz.snapshot_state`.
+SNAPSHOT_SCHEMA = 1
+
 
 @dataclass
 class FuzzConfig:
@@ -596,33 +604,169 @@ class CCFuzz:
             return self._injected_backend, False
         return create_backend(self.config.backend, self.config.workers), True
 
-    def run(self, progress: Optional[ProgressCallback] = None) -> FuzzResult:
-        """Run the genetic search and return the best traces found."""
+    def _advance(self, model: IslandModel, generation: int) -> int:
+        """Construct the next generation (migration + offspring); returns its index.
+
+        All randomness is drawn from ``self.rng``, so re-running this step
+        from a restored rng state reproduces the exact populations the
+        pre-crash process had built but never evaluated.
+        """
+        if model.should_migrate(generation):
+            model.migrate(generation)
+        for index, island in enumerate(model.islands):
+            model.islands[index] = self._next_generation(island, generation + 1)
+        return generation + 1
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+
+    def _snapshot(
+        self,
+        model: IslandModel,
+        criterion: ConvergenceCriterion,
+        history: List[GenerationStats],
+        generation: int,
+        converged: bool,
+    ) -> Dict[str, object]:
+        """JSON-safe snapshot of everything :meth:`run` needs to continue."""
+        version, internal, gauss = self.rng.getstate()
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "config": {
+                "mode": self.config.mode,
+                "population_size": self.config.population_size,
+                "islands": self.config.islands,
+                "generations": self.config.generations,
+                "seed": self.config.seed,
+                "guidance": self.config.guidance,
+            },
+            "identity": {
+                "cca_key": self.cca_key,
+                "sim_fingerprint": self._sim_fingerprint,
+                "score_fingerprint": self._score_fingerprint,
+            },
+            "generation": generation,
+            "converged": converged,
+            "rng_state": [version, list(internal), gauss],
+            "total_evaluations": self.total_evaluations,
+            "cache_hits": self.cache_hits,
+            "new_cells": self.new_cells,
+            "seed_fingerprints": list(self._injected_seed_fingerprints),
+            "criterion": criterion.state_dict(),
+            "migrations_performed": model.migrations_performed,
+            "islands": [
+                [individual.to_dict() for individual in island]
+                for island in model.islands
+            ],
+            "history": [stats.to_dict() for stats in history],
+        }
+
+    def _restore(
+        self, state: Dict[str, object]
+    ) -> Tuple[IslandModel, ConvergenceCriterion, List[GenerationStats], int, bool]:
+        """Rebuild mid-run state from a :meth:`_snapshot` payload."""
         cfg = self.config
-        model = self._initial_islands()
+        if state.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"snapshot schema {state.get('schema')!r} does not match {SNAPSHOT_SCHEMA}"
+            )
+        expected = {
+            "mode": cfg.mode,
+            "population_size": cfg.population_size,
+            "islands": cfg.islands,
+            "generations": cfg.generations,
+            "seed": cfg.seed,
+            "guidance": cfg.guidance,
+        }
+        if dict(state["config"]) != expected:  # type: ignore[arg-type]
+            raise ValueError(
+                f"snapshot was taken under a different configuration: "
+                f"{state['config']!r} != {expected!r}"
+            )
+        identity = dict(state.get("identity", {}))  # type: ignore[arg-type]
+        mine = {
+            "cca_key": self.cca_key,
+            "sim_fingerprint": self._sim_fingerprint,
+            "score_fingerprint": self._score_fingerprint,
+        }
+        if identity and identity != mine:
+            raise ValueError(
+                "snapshot was taken against a different CCA / simulation / "
+                f"scoring setup: {identity!r} != {mine!r}"
+            )
+        version, internal, gauss = state["rng_state"]  # type: ignore[misc]
+        self.rng.setstate((version, tuple(internal), gauss))
+        self.total_evaluations = int(state["total_evaluations"])  # type: ignore[arg-type]
+        self.cache_hits = int(state["cache_hits"])  # type: ignore[arg-type]
+        self.new_cells = int(state["new_cells"])  # type: ignore[arg-type]
+        self._injected_seed_fingerprints = [str(fp) for fp in state["seed_fingerprints"]]  # type: ignore[union-attr]
+        islands = [
+            Population([Individual.from_dict(payload) for payload in island])
+            for island in state["islands"]  # type: ignore[union-attr]
+        ]
+        model = IslandModel(
+            islands,
+            migration_interval=cfg.migration_interval,
+            migration_fraction=cfg.migration_fraction,
+        )
+        model.migrations_performed = int(state["migrations_performed"])  # type: ignore[arg-type]
         criterion = ConvergenceCriterion(
             max_generations=cfg.generations,
             patience=cfg.patience,
             target_fitness=cfg.target_fitness,
         )
-        history: List[GenerationStats] = []
-        generation = 0
+        criterion.load_state(dict(state["criterion"]))  # type: ignore[arg-type]
+        history = [GenerationStats.from_dict(payload) for payload in state["history"]]  # type: ignore[union-attr]
+        return model, criterion, history, int(state["generation"]), bool(state["converged"])  # type: ignore[arg-type]
+
+    def run(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        *,
+        checkpoint: Optional[CheckpointCallback] = None,
+        resume_from: Optional[Dict[str, object]] = None,
+    ) -> FuzzResult:
+        """Run the genetic search and return the best traces found.
+
+        ``checkpoint`` fires after every evaluated generation (including the
+        converged final one) with a JSON-safe snapshot; ``resume_from``
+        restores such a snapshot and continues the search — the resumed run
+        is bit-identical to one that was never interrupted, because every
+        random draw comes from the snapshotted ``self.rng``.
+        """
+        cfg = self.config
+        if resume_from is not None:
+            model, criterion, history, generation, converged = self._restore(resume_from)
+        else:
+            model = self._initial_islands()
+            criterion = ConvergenceCriterion(
+                max_generations=cfg.generations,
+                patience=cfg.patience,
+                target_fitness=cfg.target_fitness,
+            )
+            history = []
+            generation = 0
+            converged = False
         backend, owns_backend = self._make_backend()
         self._active_backend = backend
         try:
-            while True:
+            if resume_from is not None and not converged:
+                # The checkpoint was taken right after evaluating
+                # ``generation``; rebuild the successor populations the dead
+                # process had constructed (or was constructing) next.
+                generation = self._advance(model, generation)
+            while not converged:
                 evaluations, cache_hits = self._evaluate_generation(model, generation)
                 stats = self._generation_stats(model, generation, evaluations, cache_hits)
                 history.append(stats)
                 if progress is not None:
                     progress(stats)
-                if criterion.update(generation, stats.best_fitness):
-                    break
-                if model.should_migrate(generation):
-                    model.migrate(generation)
-                for index, island in enumerate(model.islands):
-                    model.islands[index] = self._next_generation(island, generation + 1)
-                generation += 1
+                converged = criterion.update(generation, stats.best_fitness)
+                if checkpoint is not None:
+                    checkpoint(self._snapshot(model, criterion, history, generation, converged))
+                if not converged:
+                    generation = self._advance(model, generation)
         finally:
             self._active_backend = None
             if owns_backend and backend is not None:

@@ -37,6 +37,27 @@ class Individual:
             origin=origin,
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for journal checkpoints."""
+        return {
+            "trace": self.trace.to_dict(),
+            "score": self.score.to_dict() if self.score is not None else None,
+            "generation_born": self.generation_born,
+            "origin": self.origin,
+            "result_summary": dict(self.result_summary),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Individual":
+        score = payload.get("score")
+        return cls(
+            trace=PacketTrace.from_dict(payload["trace"]),
+            score=Score.from_dict(score) if score is not None else None,
+            generation_born=int(payload.get("generation_born", 0)),
+            origin=str(payload.get("origin", "initial")),
+            result_summary=dict(payload.get("result_summary", {})),
+        )
+
 
 class Population:
     """An ordered collection of individuals (one island's pool)."""

@@ -27,6 +27,33 @@ class GenerationStats:
     cache_hits: int = 0                    #: evaluations avoided by the trace cache
     behavior_cells: int = 0                #: cumulative archive cells this run opened
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "best_fitness": self.best_fitness,
+            "mean_fitness": self.mean_fitness,
+            "top_k_mean_fitness": self.top_k_mean_fitness,
+            "best_summary": dict(self.best_summary),
+            "evaluations": self.evaluations,
+            "per_island_best": list(self.per_island_best),
+            "cache_hits": self.cache_hits,
+            "behavior_cells": self.behavior_cells,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GenerationStats":
+        return cls(
+            generation=int(payload["generation"]),
+            best_fitness=float(payload["best_fitness"]),
+            mean_fitness=float(payload["mean_fitness"]),
+            top_k_mean_fitness=float(payload["top_k_mean_fitness"]),
+            best_summary=dict(payload.get("best_summary", {})),
+            evaluations=int(payload.get("evaluations", 0)),
+            per_island_best=[float(v) for v in payload.get("per_island_best", [])],
+            cache_hits=int(payload.get("cache_hits", 0)),
+            behavior_cells=int(payload.get("behavior_cells", 0)),
+        )
+
 
 @dataclass
 class FuzzResult:

@@ -24,6 +24,7 @@ rediscovery rule).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -289,6 +290,58 @@ class BehaviorArchive:
             "by_cca": dict(sorted(by_cca.items())),
             "by_stall": dict(sorted(by_stall.items())),
         }
+
+    # ------------------------------------------------------------------ #
+    # Journal deltas
+    # ------------------------------------------------------------------ #
+
+    def delta_since(
+        self, index: Dict[str, str]
+    ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, str]]:
+        """Cells whose serialized payload changed versus a digest ``index``.
+
+        ``index`` maps cell key -> payload digest from a previous call (use
+        ``{}`` for "everything").  Returns ``(changed_payloads, new_index)``;
+        the campaign journal records the changed payloads as a
+        ``behavior_delta`` event, so replay reconstructs the archive without
+        re-serialising the whole map every generation.
+        """
+        changed: Dict[str, Dict[str, Any]] = {}
+        new_index: Dict[str, str] = {}
+        with self._lock:
+            for cell in sorted(self._cells):
+                payload = self._cells[cell].to_dict()
+                canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+                digest = hashlib.blake2b(
+                    canonical.encode("utf-8"), digest_size=8
+                ).hexdigest()
+                new_index[cell] = digest
+                if index.get(cell) != digest:
+                    changed[cell] = payload
+        return changed, new_index
+
+    def apply_delta(
+        self,
+        cells: Dict[str, Dict[str, Any]],
+        counters: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Overwrite cells (and optionally absolute counters) from a delta."""
+        with self._lock:
+            for cell, payload in cells.items():
+                self._cells[cell] = CellElite.from_dict(payload)
+            if counters is not None:
+                self.observations = int(counters["observations"])
+                self.new_cells = int(counters["new_cells"])
+                self.improvements = int(counters["improvements"])
+
+    def counters(self) -> Dict[str, int]:
+        """Absolute archive-level counters (journal ``behavior_delta`` payload)."""
+        with self._lock:
+            return {
+                "observations": self.observations,
+                "new_cells": self.new_cells,
+                "improvements": self.improvements,
+            }
 
     # ------------------------------------------------------------------ #
     # Serialization

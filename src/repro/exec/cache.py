@@ -179,3 +179,44 @@ class TraceCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint serialisation
+    # ------------------------------------------------------------------ #
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of entries (in LRU order) and counters.
+
+        Journal checkpoints carry this so a resumed run re-creates not only
+        the memoized outcomes but the exact ``hits``/``misses`` accounting —
+        elite clones served from a warm cache must count identically to the
+        uninterrupted run.
+        """
+        with self._lock:
+            return {
+                "schema": OUTCOME_SCHEMA,
+                "counters": {
+                    "hits": self.hits,
+                    "misses": self.misses,
+                    "evictions": self.evictions,
+                },
+                "entries": [
+                    [list(key), score.to_dict(), summary]
+                    for key, (score, summary) in self._entries.items()
+                ],
+            }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Replace contents and counters with a :meth:`dump` snapshot."""
+        if payload.get("schema") != OUTCOME_SCHEMA:
+            raise ValueError(
+                f"cache dump schema {payload.get('schema')!r} does not match {OUTCOME_SCHEMA!r}"
+            )
+        with self._lock:
+            self._entries.clear()
+            for key, score, summary in payload["entries"]:
+                self._entries[tuple(key)] = (Score.from_dict(score), dict(summary))
+            counters = payload.get("counters", {})
+            self.hits = int(counters.get("hits", 0))
+            self.misses = int(counters.get("misses", 0))
+            self.evictions = int(counters.get("evictions", 0))

@@ -1,0 +1,134 @@
+"""Journal record format.
+
+One record per line of JSONL, serialised canonically (sorted keys, no
+whitespace) so byte content is a pure function of logical content:
+
+``{"crc": ..., "data": {...}, "schema": 1, "seq": N, "type": "..."}``
+
+* ``schema`` versions the record layout itself.
+* ``seq`` is the writer-local monotonic sequence number; replay folds records
+  in ``seq`` order, and :func:`repro.journal.log.merge_records` renumbers it.
+* ``crc`` is a blake2b digest over the rest of the record.  An append that is
+  cut short by a crash leaves a final line that either has no terminating
+  newline or fails the checksum; readers skip exactly that torn tail and
+  refuse anything corrupt earlier in the file.
+
+The dedup key deliberately excludes ``seq``: the same logical event recorded
+by two machines (or by a run and its resumed continuation) collapses to one
+record under merge and replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+JOURNAL_SCHEMA = 1
+
+EVENT_TYPES = (
+    "campaign_start",
+    "campaign_resume",
+    "scenario_lease",
+    "generation_checkpoint",
+    "behavior_delta",
+    "corpus_insert",
+    "scenario_complete",
+)
+
+
+class JournalError(Exception):
+    """Base class for journal failures."""
+
+
+class JournalCorruption(JournalError):
+    """A record failed to parse or its checksum did not match."""
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(text: str, size: int) -> str:
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=size).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One event in the log.  ``data`` must be JSON-native."""
+
+    seq: int
+    type: str
+    data: Dict[str, Any]
+    schema: int = JOURNAL_SCHEMA
+    _dedup_cache: str = field(default="", init=False, repr=False, compare=False)
+
+    def checksum(self) -> str:
+        return _digest(
+            canonical_json([self.schema, self.seq, self.type, self.data]), size=4
+        )
+
+    def dedup_key(self) -> str:
+        """Content identity (``seq``-independent) used by merge and replay."""
+        cached = self._dedup_cache
+        if cached:
+            return cached
+        key = _digest(canonical_json([self.schema, self.type, self.data]), size=8)
+        object.__setattr__(self, "_dedup_cache", key)
+        return key
+
+    def to_line(self) -> str:
+        payload = {
+            "schema": self.schema,
+            "seq": self.seq,
+            "type": self.type,
+            "data": self.data,
+            "crc": self.checksum(),
+        }
+        return canonical_json(payload) + "\n"
+
+    @classmethod
+    def from_line(cls, line: str) -> "JournalRecord":
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            raise JournalCorruption(f"unparseable journal line: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise JournalCorruption("journal line is not an object")
+        try:
+            record = cls(
+                seq=int(payload["seq"]),
+                type=str(payload["type"]),
+                data=payload["data"],
+                schema=int(payload["schema"]),
+            )
+            crc = payload["crc"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalCorruption(f"malformed journal record: {exc}") from exc
+        if record.schema != JOURNAL_SCHEMA:
+            raise JournalCorruption(
+                f"unsupported journal schema {record.schema} (expected {JOURNAL_SCHEMA})"
+            )
+        if not isinstance(record.data, dict):
+            raise JournalCorruption("journal record data is not an object")
+        if crc != record.checksum():
+            raise JournalCorruption(f"checksum mismatch on seq {record.seq}")
+        return record
+
+
+def make_record(seq: int, type: str, data: Dict[str, Any]) -> JournalRecord:
+    """Build a record, normalising ``data`` through a JSON round-trip.
+
+    The round-trip rejects non-serialisable payloads at append time (not at
+    some later read) and canonicalises containers (tuples become lists), so a
+    record held in memory is byte-identical to its re-read form.
+    """
+    if type not in EVENT_TYPES:
+        raise JournalError(f"unknown journal event type: {type!r}")
+    try:
+        normalised = json.loads(canonical_json(data))
+    except (TypeError, ValueError) as exc:
+        raise JournalError(f"journal event data is not JSON-serialisable: {exc}") from exc
+    return JournalRecord(seq=seq, type=type, data=normalised)

@@ -1,0 +1,242 @@
+"""Append-only journal file: fsync'd writer, torn-tail-tolerant reader, merge.
+
+Crash-safety contract:
+
+* every append writes one full line then ``flush`` + ``os.fsync`` before
+  returning, so an acknowledged record survives a SIGKILL;
+* a crash mid-append can only damage the *final* line (either unterminated
+  or failing its checksum) — readers skip exactly that torn tail and report
+  it, while corruption anywhere earlier raises :class:`JournalCorruption`;
+* the writer repairs the file before its first append after reopening: a
+  valid-but-unterminated final record gets its newline, torn bytes are
+  truncated away, and the sequence counter continues after the last valid
+  record.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import IO, Iterable, List, Optional, Sequence, Tuple
+
+from .events import JournalCorruption, JournalRecord, make_record
+from .view import JournalView, replay_records
+
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def _scan_bytes(raw: bytes) -> Tuple[List[JournalRecord], int, int]:
+    """Parse journal bytes into ``(records, valid_byte_length, torn_records)``.
+
+    ``valid_byte_length`` is where a repairing writer should truncate to: the
+    end of the last intact record, *including* its newline if present (a
+    valid final record missing only its newline is counted as intact, and
+    the caller terminates it).  Corruption that is not the final record is a
+    hard error — an append-only log cannot lose interior records.
+    """
+    records: List[JournalRecord] = []
+    valid_length = 0
+    torn = 0
+    offset = 0
+    total = len(raw)
+    while offset < total:
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            chunk, end, terminated = raw[offset:], total, False
+        else:
+            chunk, end, terminated = raw[offset:newline], newline + 1, True
+        if chunk.strip():
+            try:
+                records.append(JournalRecord.from_line(chunk.decode("utf-8")))
+            except (JournalCorruption, UnicodeDecodeError) as exc:
+                if end >= total:
+                    torn += 1
+                    break
+                raise JournalCorruption(
+                    f"corrupt journal record before the final line: {exc}"
+                ) from exc
+            if not terminated:
+                # Valid record whose trailing newline was lost: keep it; the
+                # writer will terminate it before appending more.
+                valid_length = end
+                break
+        valid_length = end
+        offset = end
+    return records, valid_length, torn
+
+
+class CampaignJournal:
+    """Append-only JSONL event log for one campaign corpus.
+
+    Thread-safe for appends (parallel scenario workers share one journal).
+    Reading (:meth:`records`, :meth:`replay`) re-scans the file, so a reader
+    never needs the writer's in-memory state.
+    """
+
+    def __init__(self, path: str, *, fsync: bool = True) -> None:
+        self.path = str(path)
+        self.fsync = fsync
+        self._lock = threading.RLock()
+        self._handle: Optional[IO[bytes]] = None
+        self._next_seq: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Location
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def corpus_path(cls, corpus_dir: str) -> str:
+        """Canonical journal location inside a corpus directory."""
+        return os.path.join(str(corpus_dir), JOURNAL_FILENAME)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def _read_raw(self) -> bytes:
+        try:
+            with open(self.path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return b""
+
+    def records(self) -> List[JournalRecord]:
+        """All intact records, in file order.  Torn final records are skipped."""
+        records, _, _ = _scan_bytes(self._read_raw())
+        return records
+
+    def replay(self) -> JournalView:
+        """Fold the log into a consistent :class:`JournalView`."""
+        records, _, torn = _scan_bytes(self._read_raw())
+        return replay_records(records, torn_records=torn)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def _prepare_append(self) -> None:
+        """Open for appending, repairing any torn tail left by a crash."""
+        raw = self._read_raw()
+        records, valid_length, _ = _scan_bytes(raw)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        handle = open(self.path, "ab")
+        try:
+            if valid_length < len(raw):
+                handle.truncate(valid_length)
+                handle.seek(0, os.SEEK_END)
+            if valid_length and not raw[:valid_length].endswith(b"\n"):
+                handle.write(b"\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        except BaseException:
+            handle.close()
+            raise
+        self._handle = handle
+        self._next_seq = (records[-1].seq if records else 0) + 1
+
+    def _write_line(self, payload: bytes) -> None:
+        """Write one full record line and force it to disk.
+
+        The crash harness patches this method to simulate a torn append, so
+        keep it the single choke point for journal bytes.
+        """
+        assert self._handle is not None
+        self._handle.write(payload)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def append(self, type: str, data: dict) -> JournalRecord:
+        """Durably append one event; returns the written record."""
+        with self._lock:
+            if self._handle is None:
+                self._prepare_append()
+            assert self._next_seq is not None
+            record = make_record(self._next_seq, type, data)
+            self._write_line(record.to_line().encode("utf-8"))
+            self._next_seq += 1
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+                self._next_seq = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Rotation
+    # ------------------------------------------------------------------ #
+
+    def rotate(self) -> Optional[str]:
+        """Archive a finished campaign's log so a fresh one starts clean.
+
+        If the journal already holds a ``campaign_start`` record, the file is
+        renamed to ``journal-<k>.jsonl`` (first free ``k``) next to it and the
+        sequence counter resets.  A missing or startless journal is left in
+        place.  Returns the archive path, or ``None`` if nothing rotated.
+        """
+        with self._lock:
+            self.close()
+            records = self.records()
+            if not any(record.type == "campaign_start" for record in records):
+                return None
+            base, ext = os.path.splitext(self.path)
+            k = 1
+            while os.path.exists(f"{base}-{k}{ext}"):
+                k += 1
+            archived = f"{base}-{k}{ext}"
+            os.replace(self.path, archived)
+            return archived
+
+
+# ---------------------------------------------------------------------- #
+# Merge
+# ---------------------------------------------------------------------- #
+
+
+def merge_records(
+    record_lists: Iterable[Iterable[JournalRecord]],
+) -> List[JournalRecord]:
+    """Union journals from several machines into one deduplicated log.
+
+    Records are deduplicated by content (:meth:`JournalRecord.dedup_key`,
+    which ignores ``seq``), keeping the *lowest* sequence number seen for
+    each, then ordered by ``(seq, type, dedup_key)``.  The result is a pure
+    function of the deduplicated record set — per-content minimum is both
+    commutative and associative — so ``merge(a, b) == merge(b, a)``,
+    ``merge(merge(a, b), c) == merge(a, merge(b, c))``, and merging a log
+    with itself is the identity.  Sequence numbers from different machines
+    may collide or leave gaps in the merged log; replay tolerates both (the
+    sort's type/dedup-key tie-break keeps it deterministic), and a writer
+    appending to the merged file simply continues after the highest seq.
+    """
+    best: dict = {}
+    for records in record_lists:
+        for record in records:
+            key = record.dedup_key()
+            kept = best.get(key)
+            if kept is None or record.seq < kept.seq:
+                best[key] = record
+    return sorted(best.values(), key=lambda r: (r.seq, r.type, r.dedup_key()))
+
+
+def merge_journals(paths: Sequence[str], output_path: str) -> int:
+    """Merge journal files into ``output_path`` (atomically); returns record count."""
+    merged = merge_records(CampaignJournal(path).records() for path in paths)
+    tmp_path = f"{output_path}.tmp"
+    with open(tmp_path, "wb") as handle:
+        for record in merged:
+            handle.write(record.to_line().encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, output_path)
+    return len(merged)

@@ -1,0 +1,130 @@
+"""Replay: fold journal records into one consistent campaign view.
+
+The fold is deliberately CRDT-like: records are deduplicated by content and
+applied in ``(seq, type, dedup_key)`` order with keyed last-writer-wins (or
+max-generation) semantics, so replaying a merged journal gives the same view
+regardless of which machine's records came first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .events import JournalRecord
+
+
+@dataclass
+class JournalView:
+    """Consistent state reconstructed from an event log."""
+
+    #: ``campaign_start`` payload (spec, knobs, archive baseline), or ``None``.
+    campaign: Optional[Dict[str, Any]] = None
+    #: ``campaign_resume`` payloads, in fold order.
+    resumes: List[Dict[str, Any]] = field(default_factory=list)
+    #: scenario_id -> ``scenario_lease`` payload (first lease wins).
+    leases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: scenario_id -> latest ``generation_checkpoint`` payload.
+    checkpoints: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: ``corpus_insert`` payloads in fold order (the replayable WAL).
+    inserts: List[Dict[str, Any]] = field(default_factory=list)
+    #: scenario_id -> fingerprint -> latest ``corpus_insert`` payload.
+    inserts_by_scenario: Dict[str, Dict[str, Dict[str, Any]]] = field(default_factory=dict)
+    #: scenario_id -> ``scenario_complete`` payload.
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: cell -> latest elite payload from ``behavior_delta`` records.
+    behavior_cells: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: latest absolute archive counters from a ``behavior_delta``, if any.
+    archive_counters: Optional[Dict[str, int]] = None
+    #: every ``behavior_delta`` payload in fold order (for limit-aware folds).
+    behavior_deltas: List[Dict[str, Any]] = field(default_factory=list)
+    #: latest evaluation-cache dump carried by a checkpoint/completion, if any.
+    cache_state: Optional[Dict[str, Any]] = None
+
+    record_count: int = 0
+    duplicates: int = 0
+    torn_records: int = 0
+    last_seq: int = 0
+
+    def pending_checkpoints(self) -> Dict[str, Dict[str, Any]]:
+        """Checkpoints for scenarios that never reached completion."""
+        return {
+            scenario_id: checkpoint
+            for scenario_id, checkpoint in self.checkpoints.items()
+            if scenario_id not in self.completed
+        }
+
+    def behavior_state(
+        self, generation_limits: Optional[Dict[str, int]] = None
+    ) -> "tuple[Dict[str, Dict[str, Any]], Optional[Dict[str, int]]]":
+        """Fold behavior deltas into ``(cells, counters)``.
+
+        ``generation_limits`` maps scenario_id -> highest generation whose
+        deltas should apply.  A resumed run passes the in-flight scenario's
+        checkpoint generation here (and ``-1`` for scenarios it will restart
+        from scratch): deltas are journaled *before* their checkpoint, so a
+        kill between the two appends leaves a trailing delta that must be
+        dropped — the resumed search re-evaluates that generation and
+        re-observes it identically.
+        """
+        limits = generation_limits or {}
+        cells: Dict[str, Dict[str, Any]] = {}
+        counters: Optional[Dict[str, int]] = None
+        for delta in self.behavior_deltas:
+            limit = limits.get(delta.get("scenario_id", ""))
+            if limit is not None and delta.get("generation", 0) > limit:
+                continue
+            for cell, payload in delta.get("cells", {}).items():
+                cells[cell] = payload
+            if delta.get("counters") is not None:
+                counters = delta["counters"]
+        return cells, counters
+
+
+def replay_records(
+    records: List[JournalRecord], *, torn_records: int = 0
+) -> JournalView:
+    """Fold intact records into a :class:`JournalView`."""
+    view = JournalView(torn_records=torn_records)
+    seen: set = set()
+    for record in sorted(records, key=lambda r: (r.seq, r.type, r.dedup_key())):
+        key = record.dedup_key()
+        if key in seen:
+            view.duplicates += 1
+            continue
+        seen.add(key)
+        view.record_count += 1
+        view.last_seq = max(view.last_seq, record.seq)
+        data = record.data
+        if record.type == "campaign_start":
+            if view.campaign is None:
+                view.campaign = data
+        elif record.type == "campaign_resume":
+            view.resumes.append(data)
+        elif record.type == "scenario_lease":
+            view.leases.setdefault(data["scenario_id"], data)
+        elif record.type == "generation_checkpoint":
+            scenario_id = data["scenario_id"]
+            current = view.checkpoints.get(scenario_id)
+            if current is None or data["generation"] >= current["generation"]:
+                view.checkpoints[scenario_id] = data
+            if data.get("cache") is not None:
+                view.cache_state = data["cache"]
+        elif record.type == "behavior_delta":
+            view.behavior_deltas.append(data)
+            for cell, payload in data.get("cells", {}).items():
+                view.behavior_cells[cell] = payload
+            counters = data.get("counters")
+            if counters is not None:
+                view.archive_counters = counters
+        elif record.type == "corpus_insert":
+            view.inserts.append(data)
+            per_scenario = view.inserts_by_scenario.setdefault(data["scenario_id"], {})
+            per_scenario[data["fingerprint"]] = data
+        elif record.type == "scenario_complete":
+            view.completed[data["scenario_id"]] = data
+            if data.get("cache") is not None:
+                view.cache_state = data["cache"]
+        # Unknown event types within a supported schema are ignored, so a
+        # newer writer's extra events do not break an older reader.
+    return view

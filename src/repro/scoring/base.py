@@ -54,6 +54,17 @@ class Score:
     def __float__(self) -> float:
         return self.total
 
+    def to_dict(self) -> dict:
+        return {"total": self.total, "performance": self.performance, "trace": self.trace}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Score":
+        return cls(
+            total=float(payload["total"]),
+            performance=float(payload["performance"]),
+            trace=float(payload.get("trace", 0.0)),
+        )
+
 
 class PerformanceScore(abc.ABC):
     """Scores a simulation result; higher means worse CCA behaviour."""

@@ -104,6 +104,24 @@ class TestSpec:
 
 
 class TestCorpusStore:
+    def test_orphan_tmp_files_swept_on_load(self, tmp_path):
+        """A crash between atomic_json_dump's temp write and its rename
+        leaves ``*.tmp`` litter; reopening the corpus must sweep it."""
+        store = CorpusStore(str(tmp_path / "corpus"))
+        trace = traffic_trace([0.1, 0.2, 0.3])
+        store.add(trace, scenario_id="s", cca="reno", objective="throughput", score=1.0)
+        orphans = [
+            os.path.join(store.path, "index.json.tmp"),
+            os.path.join(store.path, "entries", "deadbeef.json.tmp"),
+        ]
+        for path in orphans:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("{garbage")
+        reloaded = CorpusStore(store.path)
+        assert len(reloaded) == 1  # real entries untouched
+        for path in orphans:
+            assert not os.path.exists(path)
+
     def test_add_and_reload_roundtrip(self, tmp_path):
         store = CorpusStore(str(tmp_path / "corpus"))
         trace = traffic_trace([0.1, 0.2, 0.3])

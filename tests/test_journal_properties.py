@@ -1,0 +1,149 @@
+"""Property-based tests for the campaign journal.
+
+The journal's correctness claims are algebraic — replay is insensitive to
+record order after dedup, merge is commutative/associative/idempotent, and a
+torn tail of *any* length is detected and skipped — so Hypothesis searches
+for the interleavings and cut points that violate them.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.journal import CampaignJournal, merge_records, replay_records
+from repro.journal.events import EVENT_TYPES, make_record
+
+#: JSON-native scalar payload values.
+scalars_st = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=12),
+)
+
+
+scenario_ids_st = st.sampled_from(["reno/traffic/a", "cubic/link/b", "bbr/loss/c"])
+
+
+@st.composite
+def event_st(draw):
+    """One well-formed event: the keys the writer guarantees, per type."""
+    event_type = draw(st.sampled_from(EVENT_TYPES))
+    data = {"note": draw(scalars_st)}
+    if event_type not in ("campaign_start", "campaign_resume"):
+        data["scenario_id"] = draw(scenario_ids_st)
+    if event_type == "generation_checkpoint":
+        data["generation"] = draw(st.integers(min_value=0, max_value=5))
+    if event_type == "corpus_insert":
+        data["fingerprint"] = draw(st.sampled_from(["fp0", "fp1", "fp2"]))
+    return event_type, data
+
+
+@st.composite
+def records_st(draw, min_size=0, max_size=12):
+    """A plausible journal: monotonically numbered records of mixed types."""
+    events = draw(st.lists(event_st(), min_size=min_size, max_size=max_size))
+    return [
+        make_record(seq + 1, event_type, data)
+        for seq, (event_type, data) in enumerate(events)
+    ]
+
+
+def view_fingerprint(view) -> tuple:
+    """Everything a resume reads from a view, as a comparable value."""
+    return (
+        view.campaign,
+        view.leases,
+        view.checkpoints,
+        view.inserts,
+        view.completed,
+        view.behavior_cells,
+        view.behavior_deltas,
+        view.record_count,
+    )
+
+
+@given(records=records_st(), shuffle_seed=st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_replay_is_order_insensitive_after_dedup(records, shuffle_seed):
+    shuffled = list(records)
+    shuffle_seed.shuffle(shuffled)
+    assert view_fingerprint(replay_records(shuffled)) == view_fingerprint(
+        replay_records(records)
+    )
+
+
+@given(records=records_st(min_size=1))
+@settings(max_examples=60, deadline=None)
+def test_replay_collapses_duplicated_records(records):
+    assert view_fingerprint(replay_records(records + records)) == view_fingerprint(
+        replay_records(records)
+    )
+
+
+@given(a=records_st(), b=records_st())
+@settings(max_examples=60, deadline=None)
+def test_merge_commutes(a, b):
+    assert merge_records([a, b]) == merge_records([b, a])
+
+
+@given(a=records_st(), b=records_st(), c=records_st())
+@settings(max_examples=40, deadline=None)
+def test_merge_associates(a, b, c):
+    left = merge_records([merge_records([a, b]), c])
+    right = merge_records([a, merge_records([b, c])])
+    assert left == right
+
+
+@given(records=records_st())
+@settings(max_examples=60, deadline=None)
+def test_merge_is_idempotent_and_ordered(records):
+    merged = merge_records([records])
+    assert merge_records([merged, merged]) == merged
+    assert [record.seq for record in merged] == sorted(record.seq for record in merged)
+    # Merged journals replay to the same view as the raw union.
+    assert view_fingerprint(replay_records(merged)) == view_fingerprint(
+        replay_records(records)
+    )
+
+
+@given(
+    records=records_st(min_size=1),
+    cut=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_torn_tail_of_any_length_is_skipped(records, cut):
+    """Cutting the final record anywhere loses exactly that record: earlier
+    records replay intact, the tear is counted, and a reopened writer
+    repairs the file and continues the sequence."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "journal.jsonl")
+        journal = CampaignJournal(path, fsync=False)
+        for record in records:
+            journal.append(record.type, record.data)
+        journal.close()
+        raw = open(path, "rb").read()
+        lines = raw.splitlines(keepends=True)
+        final = lines[-1]
+        kept = min(cut, len(final) - 1)  # always strip at least the newline
+        with open(path, "wb") as handle:
+            handle.write(b"".join(lines[:-1]) + final[:kept])
+        reread = CampaignJournal(path, fsync=False)
+        survivors = reread.records()
+        view = reread.replay()
+        intact = [
+            (record.type, record.data) for record in records[: len(records) - 1]
+        ]
+        if len(survivors) == len(records):
+            # The cut only removed the newline; the record itself survived.
+            assert view.torn_records == 0
+        else:
+            assert [(r.type, r.data) for r in survivors] == intact
+            assert view.torn_records == 1
+        # The repairing writer truncates the tear and the log grows on.
+        appended = reread.append("scenario_lease", {"scenario_id": "fresh"})
+        assert appended.seq == len(reread.records())
+        assert reread.replay().torn_records == 0
