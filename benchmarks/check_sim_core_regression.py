@@ -2,12 +2,14 @@
 
 Compares a freshly generated ``BENCH_sim_core.json`` against the committed
 one and exits non-zero when any throughput metric regressed by more than the
-tolerance (default 20%).
+tolerance (default 20%).  The fresh file's measured telemetry overhead is
+gated against an absolute budget (``--telemetry-budget``, default 2%, with
+the same noise tolerance applied on shared runners).
 
 Usage::
 
     python benchmarks/check_sim_core_regression.py COMMITTED.json FRESH.json \
-        [--tolerance 0.20]
+        [--tolerance 0.20] [--telemetry-budget 0.02]
 """
 
 from __future__ import annotations
@@ -34,6 +36,13 @@ def main(argv=None) -> int:
         default=0.20,
         help="maximum allowed fractional regression (default: 0.20)",
     )
+    parser.add_argument(
+        "--telemetry-budget",
+        type=float,
+        default=0.02,
+        help="maximum allowed telemetry overhead_fraction in the fresh "
+             "measurement (default: 0.02)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.committed) as handle:
@@ -58,6 +67,24 @@ def main(argv=None) -> int:
             failures.append(
                 f"{section}.{metric} regressed: {measured:.1f} < {floor:.1f} "
                 f"({args.tolerance:.0%} below committed {reference:.1f})"
+            )
+
+    overhead = fresh.get("telemetry_overhead", {}).get("overhead_fraction")
+    if overhead is None:
+        failures.append("telemetry_overhead.overhead_fraction: missing from fresh run")
+    else:
+        # Absolute budget, widened by the same noise tolerance the throughput
+        # gates use (shared CI runners jitter single-digit percents).
+        ceiling = args.telemetry_budget * (1.0 + args.tolerance)
+        status = "ok" if overhead <= ceiling else "OVER BUDGET"
+        print(
+            f"telemetry_overhead.overhead_fraction: measured={overhead:.4f} "
+            f"budget={args.telemetry_budget:.4f} ceiling={ceiling:.4f} [{status}]"
+        )
+        if overhead > ceiling:
+            failures.append(
+                f"telemetry overhead {overhead:.1%} exceeds the "
+                f"{args.telemetry_budget:.0%} budget (ceiling {ceiling:.1%})"
             )
 
     if failures:

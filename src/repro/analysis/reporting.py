@@ -108,6 +108,7 @@ def format_campaign_summary(
         sections.append(
             f"shared cache: {cache_stats.get('entries', 0)} entries, "
             f"{cache_stats.get('hits', 0)} hits / {cache_stats.get('misses', 0)} misses "
+            f"/ {cache_stats.get('evictions', 0)} evictions "
             f"(hit rate {float(cache_stats.get('hit_rate', 0.0)):.1%})"
         )
     return "\n\n".join(sections)

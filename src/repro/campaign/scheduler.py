@@ -52,6 +52,7 @@ from ..coverage.archive import BehaviorArchive
 from ..exec.backend import EvaluationBackend, create_backend
 from ..exec.cache import TraceCache
 from ..journal import CampaignJournal, JournalView
+from ..obs.telemetry import CampaignTelemetry
 from ..scoring.objectives import make_score_function
 from ..tcp.cca import cca_factory
 from ..traces.trace import PacketTrace
@@ -195,6 +196,7 @@ class CampaignRunner:
         harvest_top_k: int = 3,
         progress: Optional[ProgressCallback] = None,
         journal: Union[CampaignJournal, bool] = True,
+        telemetry: Union[CampaignTelemetry, bool] = True,
     ) -> None:
         if max_parallel < 1:
             raise ValueError("max_parallel must be at least 1")
@@ -237,6 +239,17 @@ class CampaignRunner:
             self._journal = None
         else:
             self._journal = journal
+        # ``telemetry=True`` (the default) streams metrics.jsonl into the
+        # corpus directory; pass a configured CampaignTelemetry to add the
+        # live --progress line, or False to disable (pure-compute runs,
+        # overhead benchmarks).  Telemetry is strictly observational, so the
+        # flag never changes results — only whether they are visible.
+        if telemetry is True:
+            self._telemetry = CampaignTelemetry(corpus.path)
+        elif telemetry is False or telemetry is None:
+            self._telemetry = CampaignTelemetry(corpus.path, enabled=False)
+        else:
+            self._telemetry = telemetry
         self._insert_lock = RLock()
         # Replayed ``corpus_insert`` events: scenario key -> fingerprint ->
         # event payload.  Populated on resume so a re-run harvest replays the
@@ -262,6 +275,7 @@ class CampaignRunner:
         cache: Optional[TraceCache] = None,
         max_parallel: int = 1,
         progress: Optional[ProgressCallback] = None,
+        telemetry: Union[CampaignTelemetry, bool] = True,
     ) -> "CampaignRunner":
         """Reconstruct an interrupted campaign from its journal.
 
@@ -295,6 +309,7 @@ class CampaignRunner:
             harvest_top_k=int(start.get("harvest_top_k", 3)),
             progress=progress,
             journal=journal,
+            telemetry=telemetry,
         )
         runner._prepare_resume(view, start)
         return runner
@@ -489,33 +504,35 @@ class CampaignRunner:
             cache=cache,
             archive=archive,
         )
-        result = fuzzer.run(
-            checkpoint=self._make_checkpoint(scenario, cache),
-            resume_from=resume_state["fuzzer"] if resume_state is not None else None,
-        )
-        new_entries = 0
-        harvested: set = set()
-        for individual in result.top_individuals(self.harvest_top_k):
-            if not individual.is_evaluated:
-                continue
-            fingerprint = individual.trace.fingerprint()
-            if fingerprint in harvested:
-                continue
-            harvested.add(fingerprint)
-            behavior = individual.result_summary.get("behavior_signature")
-            new_entries += self._journaled_add(
-                individual.trace,
-                scenario.scenario_id,
-                scenario_id=scenario.scenario_id,
-                cca=scenario.cca,
-                objective=scenario.objective,
-                score=individual.fitness,
-                generation_found=individual.generation_born,
-                origin="fuzz",
-                campaign=self.spec.name,
-                condition=scenario.condition.to_dict(),
-                behavior=dict(behavior) if isinstance(behavior, dict) else None,
+        with self._telemetry.scenario_span(scenario):
+            result = fuzzer.run(
+                progress=lambda stats: self._telemetry.generation(scenario, stats),
+                checkpoint=self._make_checkpoint(scenario, cache),
+                resume_from=resume_state["fuzzer"] if resume_state is not None else None,
             )
+            new_entries = 0
+            harvested: set = set()
+            for individual in result.top_individuals(self.harvest_top_k):
+                if not individual.is_evaluated:
+                    continue
+                fingerprint = individual.trace.fingerprint()
+                if fingerprint in harvested:
+                    continue
+                harvested.add(fingerprint)
+                behavior = individual.result_summary.get("behavior_signature")
+                new_entries += self._journaled_add(
+                    individual.trace,
+                    scenario.scenario_id,
+                    scenario_id=scenario.scenario_id,
+                    cca=scenario.cca,
+                    objective=scenario.objective,
+                    score=individual.fitness,
+                    generation_found=individual.generation_born,
+                    origin="fuzz",
+                    campaign=self.spec.name,
+                    condition=scenario.condition.to_dict(),
+                    behavior=dict(behavior) if isinstance(behavior, dict) else None,
+                )
         outcome = ScenarioOutcome(
             scenario=scenario,
             best_fitness=result.best_fitness,
@@ -541,6 +558,7 @@ class CampaignRunner:
             elif cache is not None:
                 payload["cache"] = cache.dump()
             journal.append("scenario_complete", payload)
+        self._telemetry.scenario_completed(outcome)
         self._progress(
             f"[{scenario.scenario_id}] best={outcome.best_fitness:.4f} "
             f"evals={outcome.evaluations} hits={outcome.cache_hits} "
@@ -564,6 +582,15 @@ class CampaignRunner:
 
     def run(self) -> CampaignResult:
         """Execute every scenario and return the campaign summary."""
+        try:
+            return self._run_impl()
+        finally:
+            # After campaign_completed on success; on a failure path it just
+            # flushes and closes the half-written telemetry stream (readers
+            # tolerate that by design).
+            self._telemetry.close()
+
+    def _run_impl(self) -> CampaignResult:
         started = time.perf_counter()
         scenarios = self.spec.expand()
         journal = self._journal
@@ -613,6 +640,9 @@ class CampaignRunner:
             if self.register_attacks:
                 attacks_registered = self._register_builtin_attacks()
                 self._progress(f"registered {attacks_registered} builtin attack traces")
+        self._telemetry.campaign_started(
+            self.spec, resumed=self._resuming, completed=self._resume_completed
+        )
 
         backend = self._injected_backend or create_backend(self.spec.backend, self.spec.workers)
         owns_backend = self._injected_backend is None
@@ -713,7 +743,7 @@ class CampaignRunner:
             for scenario in scenarios
             if scenario.scenario_id in outcome_by_id
         ]
-        return CampaignResult(
+        result = CampaignResult(
             spec=self.spec,
             outcomes=outcomes,
             corpus_stats=self.corpus.stats(),
@@ -722,3 +752,7 @@ class CampaignRunner:
             attacks_registered=attacks_registered,
             coverage=self.archive.coverage(),
         )
+        self._telemetry.campaign_completed(
+            self.spec, result=result, resumed=self._resuming
+        )
+        return result

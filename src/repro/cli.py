@@ -54,6 +54,17 @@ from .coverage import (
 )
 from .exec.backend import create_backend
 from .netsim.simulation import SimulationConfig, run_simulation
+from .obs import (
+    METRICS_FILENAME,
+    CampaignTelemetry,
+    Console,
+    add_console_flags,
+    collect_status,
+    format_status,
+    prometheus_text,
+    read_metrics,
+    status_json,
+)
 from .scoring.objectives import OBJECTIVES, make_score_function
 from .tcp.cca import CCA_FACTORIES
 from .traces.generator import LinkTraceGenerator, TrafficTraceGenerator
@@ -132,7 +143,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write the run's behavior archive (behavior map JSON)",
     )
+    add_console_flags(parser)
     args = parser.parse_args(argv)
+    console = Console.from_args(args)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
 
@@ -156,33 +169,33 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     )
 
     def report_progress(stats) -> None:
-        print(
+        console.info(
             f"generation {stats.generation:3d}  best={stats.best_fitness:10.4f}  "
             f"top-k mean={stats.top_k_mean_fitness:10.4f}  mean={stats.mean_fitness:10.4f}"
         )
 
     result = fuzzer.run(progress=report_progress)
-    print()
-    print(format_generation_progress(result.generations))
-    print()
+    console.info()
+    console.result(format_generation_progress(result.generations))
+    console.result()
     if result.cache_stats:
         # Per-run numbers (cache_stats counts the cache's whole lifetime,
         # which can span several runs when a cache is shared).
         lookups = result.total_evaluations + result.cache_hits
         hit_rate = result.cache_hits / lookups if lookups else 0.0
-        print(
+        console.result(
             f"evaluations: {result.total_evaluations} simulated, "
             f"{result.cache_hits} served from cache (hit rate {hit_rate:.1%})"
         )
     else:
-        print(f"evaluations: {result.total_evaluations} simulated (cache disabled)")
+        console.result(f"evaluations: {result.total_evaluations} simulated (cache disabled)")
     coverage = result.coverage or {}
-    print(
+    console.result(
         f"behavior coverage ({result.guidance} guidance): "
         f"{coverage.get('cells', 0)} cells from "
         f"{coverage.get('observations', 0)} observations"
     )
-    print()
+    console.result()
     rows = [
         {
             "rank": rank + 1,
@@ -193,12 +206,12 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         }
         for rank, individual in enumerate(result.top_individuals(args.top))
     ]
-    print(format_table(rows))
+    console.result(format_table(rows))
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(result.best_trace.to_json())
-        print(f"\nbest trace written to {args.output}")
+        console.info(f"\nbest trace written to {args.output}")
 
     if args.output_dir:
         store = CorpusStore(args.output_dir)
@@ -224,14 +237,14 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                 condition=condition,
                 behavior=dict(behavior) if isinstance(behavior, dict) else None,
             )
-        print(
+        console.info(
             f"top-{args.top} written to corpus {args.output_dir} "
             f"({added} new, {len(store)} total entries)"
         )
 
     if args.coverage_output and result.archive is not None:
         result.archive.save(args.coverage_output)
-        print(f"behavior map written to {args.coverage_output}")
+        console.info(f"behavior map written to {args.coverage_output}")
     return 0
 
 
@@ -258,7 +271,9 @@ def simulate_main(argv: Optional[List[str]] = None) -> int:
         help="use a built-in attack trace instead of a file",
     )
     parser.add_argument("--plot", action="store_true", help="print an ASCII throughput chart")
+    add_console_flags(parser)
     args = parser.parse_args(argv)
+    console = Console.from_args(args)
     if args.trace and args.attack != "none":
         parser.error("--trace and --attack are mutually exclusive; pick one input")
 
@@ -289,10 +304,10 @@ def simulate_main(argv: Optional[List[str]] = None) -> int:
         cross_traffic_times=cross_times,
     )
     metrics = compute_metrics(result)
-    print(format_table([metrics.as_dict()]))
+    console.result(format_table([metrics.as_dict()]))
     if args.plot:
-        print()
-        print(
+        console.result()
+        console.result(
             ascii_chart(
                 result.windowed_throughput(window=0.25),
                 title=f"{args.cca} windowed throughput (Mbps)",
@@ -327,7 +342,11 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     inspect.add_argument("path", type=str)
     inspect.add_argument("--window", type=float, default=0.25)
 
+    for subparser in (generate, inspect):
+        add_console_flags(subparser)
+
     args = parser.parse_args(argv)
+    console = Console.from_args(args)
 
     if args.command == "generate":
         if args.mode == "link":
@@ -341,7 +360,7 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         trace = generator.generate()
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(trace.to_json())
-        print(
+        console.info(
             f"wrote {type(trace).__name__} with {trace.packet_count} packets "
             f"({trace.average_rate_mbps:.2f} Mbps average) to {args.output}"
         )
@@ -349,12 +368,14 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
     with open(args.path, "r", encoding="utf-8") as handle:
         trace = PacketTrace.from_json(handle.read())
-    print(f"type: {type(trace).__name__}")
-    print(f"packets: {trace.packet_count}")
-    print(f"duration: {trace.duration} s")
-    print(f"average rate: {trace.average_rate_mbps:.3f} Mbps")
-    print()
-    print(ascii_chart(trace.windowed_rates_mbps(args.window), title="windowed rate", y_label="Mbps"))
+    console.result(f"type: {type(trace).__name__}")
+    console.result(f"packets: {trace.packet_count}")
+    console.result(f"duration: {trace.duration} s")
+    console.result(f"average rate: {trace.average_rate_mbps:.3f} Mbps")
+    console.result()
+    console.result(
+        ascii_chart(trace.windowed_rates_mbps(args.window), title="windowed rate", y_label="Mbps")
+    )
     return 0
 
 
@@ -439,7 +460,9 @@ def triage_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output-trace", type=str, default=None,
                         help="write the minimized trace as JSON")
     _add_triage_options(parser)
+    add_console_flags(parser)
     args = parser.parse_args(argv)
+    console = Console.from_args(args)
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
     if args.output_trace and args.skip_minimize:
@@ -513,19 +536,19 @@ def triage_main(argv: Optional[List[str]] = None) -> int:
     finally:
         backend.close()
 
-    print(format_triage_report(report.to_dict()))
-    print(
+    console.result(format_triage_report(report.to_dict()))
+    console.result(
         f"\n{report.simulations} simulations "
         f"(+{report.cache_hits} cache hits) in {report.wall_time_s:.1f}s"
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
-        print(f"triage report written to {args.output}")
+        console.info(f"triage report written to {args.output}")
     if args.output_trace:
         with open(args.output_trace, "w", encoding="utf-8") as handle:
             handle.write(report.triaged_trace.to_json())
-        print(f"minimized trace written to {args.output_trace}")
+        console.info(f"minimized trace written to {args.output_trace}")
     return 0
 
 
@@ -604,57 +627,60 @@ def coverage_main(argv: Optional[List[str]] = None) -> int:
     )
     gaps_parser.add_argument("path", type=str, help="behavior map or corpus dir")
 
+    for subparser in (map_parser, diff_parser, gaps_parser):
+        add_console_flags(subparser)
+
     args = parser.parse_args(argv)
+    console = Console.from_args(args)
 
     if args.command == "map":
         if args.rebuild:
             if not (os.path.isdir(args.path) and CorpusStore.is_corpus(args.path)):
                 parser.error("--rebuild needs a corpus directory")
-            archive = _rebuild_corpus_coverage(args.path)
+            archive = _rebuild_corpus_coverage(args.path, console)
             # Status goes to stderr so `--rebuild --json` still emits clean
             # JSON on stdout.
-            print(
-                f"behavior map rebuilt and written to {BehaviorArchive.corpus_path(args.path)}",
-                file=sys.stderr,
+            console.status(
+                f"behavior map rebuilt and written to {BehaviorArchive.corpus_path(args.path)}"
             )
         else:
             archive = _load_archive(args.path, parser)
         if args.json:
-            print(json.dumps(archive.to_dict(), indent=1, sort_keys=True))
+            console.result(json.dumps(archive.to_dict(), indent=1, sort_keys=True))
         else:
-            print(format_coverage_map(archive, top=args.top))
+            console.result(format_coverage_map(archive, top=args.top))
         return 0
 
     if args.command == "diff":
         archive_a = _load_archive(args.path_a, parser)
         archive_b = _load_archive(args.path_b, parser)
         delta = diff_archives(archive_a, archive_b)
-        print(
+        console.result(
             f"cells: {len(archive_a.cell_keys())} in A, {len(archive_b.cell_keys())} in B, "
             f"{len(delta['shared'])} shared"
         )
         for label, cells in (("only in A", delta["only_a"]), ("only in B", delta["only_b"])):
-            print(f"\n{label} ({len(cells)}):")
+            console.result(f"\n{label} ({len(cells)}):")
             for cell in cells[:25]:
-                print(f"  {cell}")
+                console.result(f"  {cell}")
             if len(cells) > 25:
-                print(f"  ... and {len(cells) - 25} more")
+                console.result(f"  ... and {len(cells) - 25} more")
         improved = [
             (cell, diff) for cell, diff in delta["score_deltas"] if diff is not None and diff > 0
         ]
         if improved:
             improved.sort(key=lambda item: -item[1])
-            print(f"\nshared cells where B's elite scores higher ({len(improved)}):")
+            console.result(f"\nshared cells where B's elite scores higher ({len(improved)}):")
             for cell, diff in improved[:10]:
-                print(f"  {cell}  (+{diff:.4f})")
+                console.result(f"  {cell}  (+{diff:.4f})")
         return 0
 
     archive = _load_archive(args.path, parser)
-    print(format_coverage_gaps(archive))
+    console.result(format_coverage_gaps(archive))
     return 0
 
 
-def _rebuild_corpus_coverage(corpus_dir: str) -> BehaviorArchive:
+def _rebuild_corpus_coverage(corpus_dir: str, console: Console) -> BehaviorArchive:
     """Re-simulate a corpus to refresh behavior annotations + the map."""
     from .exec.workers import simulate_packet_trace
 
@@ -684,10 +710,9 @@ def _rebuild_corpus_coverage(corpus_dir: str) -> BehaviorArchive:
             provenance={"scenario": entry.scenario_id, "objective": entry.objective},
         )
     if skipped:
-        print(
+        console.status(
             f"skipped {skipped} entries with no recorded discovery CCA "
-            "(builtins/imports)",
-            file=sys.stderr,
+            "(builtins/imports)"
         )
     archive.save(BehaviorArchive.corpus_path(corpus_dir))
     return archive
@@ -734,6 +759,32 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         "--harvest-top-k", type=int, default=3,
         help="how many top traces per scenario to store in the corpus",
     )
+    run_parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live one-line progress status on stderr while the campaign runs",
+    )
+    run_parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="do not write metrics.jsonl / metrics.prom / run_manifest.json "
+             "into the corpus directory",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="show a campaign's progress from its telemetry (works on live "
+             "and finished campaigns)",
+    )
+    status_parser.add_argument(
+        "corpus", type=str,
+        help="corpus directory holding metrics.jsonl",
+    )
+    status_format = status_parser.add_mutually_exclusive_group()
+    status_format.add_argument("--json", action="store_true",
+                               help="emit the status as JSON")
+    status_format.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the latest metrics snapshot in Prometheus text format",
+    )
 
     replay_parser = subparsers.add_parser(
         "replay", help="re-simulate the whole corpus against one CCA and report score deltas"
@@ -770,7 +821,11 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     )
     _add_triage_options(triage_parser)
 
+    for subparser in (run_parser, status_parser, replay_parser, report_parser, triage_parser):
+        add_console_flags(subparser)
+
     args = parser.parse_args(argv)
+    console = Console.from_args(args)
 
     if args.command == "run":
         if args.max_parallel < 1:
@@ -779,6 +834,15 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             parser.error("--harvest-top-k must be at least 1")
         if args.workers is not None and args.workers < 1:
             parser.error("--workers must be at least 1")
+        if args.no_telemetry and args.progress:
+            parser.error("--progress needs telemetry; drop --no-telemetry")
+        if args.no_telemetry:
+            telemetry: object = False
+        else:
+            telemetry = CampaignTelemetry(
+                args.corpus,
+                progress_stream=sys.stderr if args.progress else None,
+            )
         if args.resume:
             if args.spec is not None:
                 parser.error("--resume recovers the spec from the journal; drop --spec")
@@ -786,7 +850,8 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 runner = CampaignRunner.resume(
                     args.corpus,
                     max_parallel=args.max_parallel,
-                    progress=print,
+                    progress=console.info,
+                    telemetry=telemetry,
                 )
             except ValueError as exc:
                 parser.error(str(exc))
@@ -810,13 +875,37 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 max_parallel=args.max_parallel,
                 register_attacks=not args.no_attacks,
                 harvest_top_k=args.harvest_top_k,
-                progress=print,
+                progress=console.info,
+                telemetry=telemetry,
             )
         result = runner.run()
-        print()
-        print(format_campaign_report(result))
+        console.info()
+        console.result(format_campaign_report(result))
         report_path = write_campaign_report(result, args.corpus)
-        print(f"\ncampaign report written to {report_path}")
+        console.info(f"\ncampaign report written to {report_path}")
+        return 0
+
+    if args.command == "status":
+        metrics_path = os.path.join(args.corpus, METRICS_FILENAME)
+        if not os.path.exists(metrics_path):
+            parser.error(
+                f"no campaign telemetry at {metrics_path} "
+                "(run the campaign without --no-telemetry)"
+            )
+        if args.prometheus:
+            snapshot = None
+            for record in read_metrics(metrics_path):
+                if record.get("type") == "metrics" and isinstance(record.get("registry"), dict):
+                    snapshot = record["registry"]
+            if snapshot is None:
+                parser.error(f"no metrics snapshot in {metrics_path} yet")
+            console.result(prometheus_text(snapshot), end="")
+            return 0
+        status = collect_status(args.corpus)
+        if args.json:
+            console.result(status_json(status))
+        else:
+            console.result(format_status(status))
         return 0
 
     # replay/report/triage read an existing corpus; creating an empty one on
@@ -839,15 +928,15 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 default_cca=args.default_cca,
                 limit=args.limit,
                 force=args.force,
-                progress=print,
+                progress=console.info,
             )
         finally:
             backend.close()
-        print()
+        console.info()
         if result.rows:
-            print(format_table([row.as_dict() for row in result.rows]))
+            console.result(format_table([row.as_dict() for row in result.rows]))
         remaining = f", {result.remaining} left by --limit" if result.remaining else ""
-        print(
+        console.result(
             f"\ntriaged {len(result.rows)} entries "
             f"({result.skipped} already triaged{remaining}), "
             f"stored {result.stored} minimized variants; "
@@ -865,18 +954,18 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             report = replay_corpus(corpus, args.cca, backend=backend, mode=args.mode)
         finally:
             backend.close()
-        print(format_replay_report(report))
+        console.result(format_replay_report(report))
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 json.dump(report.to_dict(), handle, indent=1, sort_keys=True)
-            print(f"\nreplay report written to {args.output}")
+            console.info(f"\nreplay report written to {args.output}")
         return 0
 
     corpus = CorpusStore(args.corpus)
-    print(format_corpus_report(corpus, top=args.top))
+    console.result(format_corpus_report(corpus, top=args.top))
     last_run = read_campaign_report(args.corpus)
     if last_run is not None:
-        print(
+        console.result(
             f"\nlast campaign: {last_run['spec']['name']!r} — "
             f"{len(last_run['scenarios'])} scenarios, "
             f"{last_run['total_evaluations']} simulations, "

@@ -19,8 +19,11 @@ plateau patience or target fitness).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import get_registry
 
 from ..coverage.archive import BehaviorArchive
 from ..coverage.guidance import GUIDANCE_MODES, make_guidance
@@ -757,7 +760,19 @@ class CCFuzz:
                 # process had constructed (or was constructing) next.
                 generation = self._advance(model, generation)
             while not converged:
+                # Per-generation telemetry: a handful of counter writes per
+                # generation (hundreds of simulations), observational only.
+                generation_started = time.perf_counter()
+                prior_cells = self.new_cells
                 evaluations, cache_hits = self._evaluate_generation(model, generation)
+                registry = get_registry()
+                registry.inc("fuzzer.generations")
+                registry.inc("fuzzer.evaluations", evaluations)
+                registry.inc("fuzzer.cache_hits", cache_hits)
+                registry.inc("fuzzer.new_cells", self.new_cells - prior_cells)
+                registry.observe(
+                    "fuzzer.generation_wall_s", time.perf_counter() - generation_started
+                )
                 stats = self._generation_stats(model, generation, evaluations, cache_hits)
                 history.append(stats)
                 if progress is not None:

@@ -24,12 +24,15 @@ to release workers.
 from __future__ import annotations
 
 import abc
+import contextlib
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
+from ..obs.metrics import get_registry
 from .workers import EvaluationJob, EvaluationOutcome, evaluate_job
 
 #: Backend names accepted by :func:`create_backend` and the CLI.
@@ -48,6 +51,33 @@ class EvaluationBackend(abc.ABC):
     @abc.abstractmethod
     def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
         """Evaluate every job; ``result[i]`` corresponds to ``jobs[i]``."""
+
+    @contextlib.contextmanager
+    def _record_batch(self, batch_size: int) -> Iterator[None]:
+        """Submit-side telemetry wrapper around one batch.
+
+        Recorded from the coordinator, so it covers every backend uniformly
+        — including the process pool, whose workers increment their own
+        per-process registries that never reach this one.  ``jobs_in_flight``
+        is a live queue-depth gauge (campaign threads sharing one backend
+        stack their batches); ``batch_occupancy`` is the fraction of the
+        worker pool one batch can keep busy.
+        """
+        registry = get_registry()
+        workers = getattr(self, "workers", 1)
+        registry.inc("exec.batches")
+        registry.inc("exec.jobs", batch_size)
+        registry.gauge_set("exec.workers", workers)
+        registry.gauge_add("exec.jobs_in_flight", batch_size)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            registry.gauge_add("exec.jobs_in_flight", -batch_size)
+            registry.observe("exec.batch_wall_s", time.perf_counter() - started)
+            registry.observe(
+                "exec.batch_occupancy", min(1.0, batch_size / max(1, workers))
+            )
 
     def close(self) -> None:
         """Release any pooled workers (idempotent)."""
@@ -68,7 +98,8 @@ class SerialBackend(EvaluationBackend):
     name = "serial"
 
     def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
-        return [evaluate_job(job) for job in jobs]
+        with self._record_batch(len(jobs)):
+            return [evaluate_job(job) for job in jobs]
 
 
 class ThreadBackend(EvaluationBackend):
@@ -96,7 +127,8 @@ class ThreadBackend(EvaluationBackend):
     def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
         if not jobs:
             return []
-        return list(self._pool().map(evaluate_job, jobs))
+        with self._record_batch(len(jobs)):
+            return list(self._pool().map(evaluate_job, jobs))
 
     def close(self) -> None:
         if self._executor is not None:
@@ -148,7 +180,10 @@ class ProcessPoolBackend(EvaluationBackend):
     def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
         if not jobs:
             return []
-        return self._pool().map(evaluate_job, jobs, chunksize=self._chunk_size(len(jobs)))
+        with self._record_batch(len(jobs)):
+            return self._pool().map(
+                evaluate_job, jobs, chunksize=self._chunk_size(len(jobs))
+            )
 
     def close(self) -> None:
         if self._pool_instance is not None:

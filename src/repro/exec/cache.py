@@ -25,6 +25,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from ..netsim.simulation import SimulationConfig
+from ..obs.metrics import get_registry
 from ..scoring.base import Score, stable_state
 from ..traces.trace import PacketTrace
 
@@ -122,8 +123,10 @@ class TraceCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                get_registry().inc("cache.misses")
                 return None
             self.hits += 1
+            get_registry().inc("cache.hits")
             if self.max_entries is not None:
                 # Recency order only matters for bounded LRU eviction; the
                 # (default) unbounded cache skips the per-hit reordering.
@@ -139,11 +142,13 @@ class TraceCache:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
                     self.evictions += 1
+                    get_registry().inc("cache.evictions")
 
     def record_coalesced_hit(self) -> None:
         """Count a lookup satisfied by an identical evaluation already in flight."""
         with self._lock:
             self.hits += 1
+            get_registry().inc("cache.hits")
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -173,6 +178,7 @@ class TraceCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "lookups": self.lookups,
                 "hit_rate": round(self.hit_rate, 4),
             }
 

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import IO, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import get_registry
 from .events import JournalCorruption, JournalRecord, make_record
 from .view import JournalView, replay_records
 
@@ -155,7 +157,15 @@ class CampaignJournal:
                 self._prepare_append()
             assert self._next_seq is not None
             record = make_record(self._next_seq, type, data)
-            self._write_line(record.to_line().encode("utf-8"))
+            payload = record.to_line().encode("utf-8")
+            # Timed around the write+fsync choke point: append_s is the
+            # durability cost per record (dominated by fsync on real disks).
+            append_started = time.perf_counter()
+            self._write_line(payload)
+            registry = get_registry()
+            registry.inc("journal.appends")
+            registry.inc("journal.bytes", len(payload))
+            registry.observe("journal.append_s", time.perf_counter() - append_started)
             self._next_seq += 1
             return record
 

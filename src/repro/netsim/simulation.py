@@ -10,11 +10,13 @@ sender/CCA internals.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .packet import Packet
 
+from ..obs.metrics import get_registry
 from ..tcp.cca.base import CongestionControl
 from .engine import EventScheduler
 from .monitor import FlowMonitor
@@ -232,7 +234,15 @@ def run_simulation(
         sender_start_time=config.sender_start_time,
         record_series=config.record_series,
     )
+    # Telemetry wraps the run at whole-simulation granularity (never
+    # per-event: the event loop itself stays untouched) and only ever
+    # *writes* counters, so results are bit-identical with telemetry on.
+    sim_started = time.perf_counter()
     events_executed = topology.run(max_events=config.max_events)
+    registry = get_registry()
+    registry.inc("sim.simulations")
+    registry.inc("sim.events", events_executed)
+    registry.observe("sim.wall_s", time.perf_counter() - sim_started)
 
     receiver = topology.receiver
     link = topology.link

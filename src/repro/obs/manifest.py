@@ -1,0 +1,122 @@
+"""Run manifests: the queryable record of what a campaign run *was*.
+
+``run_manifest.json`` is written into the corpus directory when a campaign
+finishes.  Where ``report.json`` summarises what the campaign *found*, the
+manifest pins what produced it — config fingerprints, per-scenario
+simulation fingerprints, package/python versions, host facts, the phase
+wall-time table and the final metrics snapshot — so a dashboard (or a
+human six months later) can answer "which code, which config, which
+machine, how long" without parsing logs.  Like every telemetry artifact it
+is write-only from the campaign's point of view and carries wall-clock
+data, so nothing in it may ever feed a digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+MANIFEST_FILENAME = "run_manifest.json"
+MANIFEST_SCHEMA = 1
+
+
+def spec_fingerprint(spec_dict: Dict[str, Any]) -> str:
+    """Stable digest of a campaign spec's canonical JSON."""
+    canonical = json.dumps(spec_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def host_info() -> Dict[str, Any]:
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+def versions() -> Dict[str, str]:
+    from .. import __version__
+
+    return {
+        "repro": __version__,
+        "python": sys.version.split()[0],
+    }
+
+
+def build_manifest(
+    spec,
+    *,
+    result=None,
+    phases: Optional[Dict[str, Dict[str, Any]]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    started_at: Optional[float] = None,
+    resumed: bool = False,
+) -> Dict[str, Any]:
+    """Assemble the manifest payload for a finished campaign.
+
+    ``spec`` is a :class:`~repro.campaign.spec.CampaignSpec`; ``result`` (a
+    :class:`~repro.campaign.scheduler.CampaignResult`, when the run got that
+    far) contributes totals and the deterministic digest; ``phases`` is a
+    :meth:`~repro.obs.spans.PhaseTracer.summary`; ``metrics`` the final
+    registry snapshot.
+    """
+    spec_dict = spec.to_dict()
+    payload: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "campaign": spec.name,
+        "resumed": resumed,
+        "spec": spec_dict,
+        "spec_fingerprint": spec_fingerprint(spec_dict),
+        "scenarios": [
+            dict(
+                scenario.describe(),
+                sim_fingerprint=scenario.sim_config().fingerprint(),
+            )
+            for scenario in spec.expand()
+        ],
+        "versions": versions(),
+        "host": host_info(),
+        "started_at": started_at,
+        "finished_at": time.time(),
+        "phases": dict(phases or {}),
+        "metrics": metrics,
+    }
+    if result is not None:
+        payload["result"] = {
+            "deterministic_digest": result.deterministic_digest(),
+            "wall_time_s": result.wall_time_s,
+            "total_evaluations": sum(o.evaluations for o in result.outcomes),
+            "total_cache_hits": sum(o.cache_hits for o in result.outcomes),
+            "scenarios_completed": len(result.outcomes),
+            "attacks_registered": result.attacks_registered,
+            "coverage": dict(result.coverage),
+        }
+    return payload
+
+
+def write_manifest(payload: Dict[str, Any], corpus_dir: Union[str, Path]) -> Path:
+    """Atomically write ``<corpus_dir>/run_manifest.json``."""
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / MANIFEST_FILENAME
+    tmp = target.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    os.replace(tmp, target)
+    return target
+
+
+def read_manifest(corpus_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    path = Path(corpus_dir) / MANIFEST_FILENAME
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,185 @@
+"""Telemetry sinks: the ``metrics.jsonl`` stream and Prometheus text export.
+
+Telemetry artifacts live next to the corpus they describe but are strictly
+write-only from the campaign's point of view — nothing in the search ever
+reads them back, so they cannot perturb results.  Unlike the journal,
+telemetry writes are *not* fsync'd (losing the tail of a metrics stream on
+a crash is acceptable; losing campaign state is not), and the reader
+tolerates a torn final line for the same reason.
+
+``metrics.jsonl`` is a stream of one-object-per-line records.  Every record
+has ``t`` (wall-clock seconds since the epoch — telemetry is the one place
+wall time belongs; nothing digested ever sees it) and ``type``.  Record
+types emitted today: ``campaign_start``, ``campaign_resume``,
+``scenario_state``, ``generation``, ``span``, ``metrics`` (a full registry
+snapshot), ``campaign_complete``.  Readers must ignore unknown types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .metrics import METRICS_SCHEMA, MetricsRegistry, Snapshot
+
+#: Default seconds between periodic full-snapshot records.
+DEFAULT_SNAPSHOT_INTERVAL_S = 5.0
+
+METRICS_FILENAME = "metrics.jsonl"
+PROMETHEUS_FILENAME = "metrics.prom"
+
+
+class MetricsJsonlSink:
+    """Appends telemetry records to ``<dir>/metrics.jsonl``.
+
+    The file handle stays open for the campaign's lifetime (line-buffered
+    appends, no fsync).  ``emit`` writes one record immediately;
+    ``maybe_snapshot`` throttles full registry snapshots to at most one per
+    ``interval_s`` unless forced (phase boundaries force one so the stream
+    always ends on fresh numbers).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        interval_s: float = DEFAULT_SNAPSHOT_INTERVAL_S,
+    ) -> None:
+        self.path = Path(directory) / METRICS_FILENAME
+        self.interval_s = interval_s
+        self._last_snapshot = 0.0
+        # Parallel campaigns emit from several coordinator threads; the lock
+        # keeps each record on its own line.
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, record_type: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        record = {"t": time.time(), "type": record_type}
+        if payload:
+            record.update(payload)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+
+    def maybe_snapshot(self, registry: MetricsRegistry, force: bool = False) -> bool:
+        """Emit a ``metrics`` record if the interval elapsed (or forced)."""
+        now = time.monotonic()
+        if not force and now - self._last_snapshot < self.interval_s:
+            return False
+        self._last_snapshot = now
+        self.emit(
+            "metrics",
+            {"schema": METRICS_SCHEMA, "registry": registry.snapshot()},
+        )
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "MetricsJsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_metrics_records(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield records from a ``metrics.jsonl``, tolerating a torn tail.
+
+    The writer never fsyncs, so a crashed (or still-running) campaign may
+    leave a partial final line; it is silently skipped.  Malformed
+    *interior* lines are skipped too — a metrics stream is advisory, unlike
+    the journal, so corruption downgrades to missing data rather than an
+    error.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "type" in record:
+                yield record
+
+
+def read_metrics(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    return list(iter_metrics_records(path))
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+# ---------------------------------------------------------------------- #
+
+
+def _prom_name(name: str) -> str:
+    """``sim.wall_s`` -> ``repro_sim_wall_s`` (Prometheus-legal)."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name.replace(".", "_")
+    )
+    return f"repro_{sanitized}"
+
+
+def prometheus_text(snapshot: Snapshot) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Histograms export ``_count``/``_sum`` plus cumulative ``_bucket`` series
+    with ``le`` bounds of ``2^(exponent+1)`` (each log2 bucket holds values
+    in ``[2^e, 2^(e+1))``), matching how the registry buckets observations.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        payload = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        numeric = sorted(
+            (int(label), count)
+            for label, count in payload["buckets"].items()
+            if label != "le0"
+        )
+        underflow = payload["buckets"].get("le0", 0)
+        if underflow:
+            cumulative += underflow
+            lines.append(f'{prom}_bucket{{le="0"}} {cumulative}')
+        for exponent, count in numeric:
+            cumulative += count
+            bound = 2.0 ** (exponent + 1)
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {payload["count"]}')
+        lines.append(f"{prom}_count {payload['count']}")
+        lines.append(f"{prom}_sum {payload['sum']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: Snapshot, directory: Union[str, Path]) -> Path:
+    """Atomically write ``<dir>/metrics.prom`` for file-based scraping."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / PROMETHEUS_FILENAME
+    tmp = target.with_suffix(".prom.tmp")
+    tmp.write_text(prometheus_text(snapshot), encoding="utf-8")
+    os.replace(tmp, target)
+    return target

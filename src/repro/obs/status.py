@@ -1,0 +1,270 @@
+"""Campaign status: fold a ``metrics.jsonl`` stream into a live view.
+
+``repro-campaign status <corpus-dir>`` renders this while a campaign runs
+(or after it finished): throughput, cache hit rate, coverage growth, ETA
+and per-scenario progress, all derived purely from the telemetry stream —
+the status reader never touches the journal, corpus or any state the
+search mutates, so polling it cannot perturb a running campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .manifest import read_manifest
+from .sinks import METRICS_FILENAME, iter_metrics_records
+
+
+def _rate(delta_value: float, delta_t: float) -> Optional[float]:
+    if delta_t <= 0:
+        return None
+    return delta_value / delta_t
+
+
+def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Fold the corpus dir's telemetry stream into one status dict.
+
+    Only records from the *latest* ``campaign_start``/``campaign_resume``
+    onwards count (the stream accumulates across campaigns like the corpus
+    does).  Tolerates a mid-write stream: the reader skips torn lines and
+    every field degrades to ``None``/empty rather than raising.
+    """
+    corpus_dir = Path(corpus_dir)
+    records = list(iter_metrics_records(corpus_dir / METRICS_FILENAME))
+    # Slice to the current run.
+    start_index = 0
+    for index, record in enumerate(records):
+        if record["type"] in ("campaign_start", "campaign_resume"):
+            start_index = index
+    records = records[start_index:]
+
+    status: Dict[str, Any] = {
+        "corpus_dir": str(corpus_dir),
+        "campaign": None,
+        "state": "unknown",
+        "resumed": False,
+        "started_at": None,
+        "updated_at": None,
+        "elapsed_s": None,
+        "scenarios": {},
+        "scenarios_total": 0,
+        "scenarios_completed": 0,
+        "evaluations": 0,
+        "cache_hits": 0,
+        "cache_hit_rate": None,
+        "evals_per_sec": None,
+        "evals_per_sec_recent": None,
+        "sim_events": 0,
+        "events_per_sec_recent": None,
+        "behavior_cells": 0,
+        "progress_fraction": None,
+        "eta_s": None,
+        "manifest": None,
+    }
+    if not records:
+        return status
+
+    generations_total: Dict[str, int] = {}
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    snapshots: List[Dict[str, Any]] = []
+    started_at: Optional[float] = None
+
+    for record in records:
+        rtype = record["type"]
+        if rtype in ("campaign_start", "campaign_resume"):
+            status["campaign"] = record.get("campaign")
+            status["state"] = "running"
+            status["resumed"] = rtype == "campaign_resume"
+            started_at = record.get("t")
+            generations_total = {
+                str(k): int(v)
+                for k, v in (record.get("generations_per_scenario") or {}).items()
+            }
+            for scenario_id in record.get("scenarios", []):
+                scenarios[scenario_id] = {
+                    "state": "pending",
+                    "generation": 0,
+                    "generations_total": generations_total.get(scenario_id),
+                    "best_fitness": None,
+                    "evaluations": 0,
+                    "cache_hits": 0,
+                    "cells": 0,
+                }
+            for scenario_id in record.get("completed", []):
+                if scenario_id in scenarios:
+                    scenarios[scenario_id]["state"] = "complete"
+        elif rtype == "scenario_state":
+            entry = scenarios.setdefault(str(record.get("scenario")), {})
+            entry["state"] = record.get("state", "running")
+            outcome = record.get("outcome")
+            if outcome:
+                entry["generation"] = int(outcome.get("generations", 0))
+                entry["best_fitness"] = outcome.get("best_fitness")
+                entry["evaluations"] = int(outcome.get("evaluations", 0))
+                entry["cache_hits"] = int(outcome.get("cache_hits", 0))
+                entry["cells"] = int(outcome.get("cells", 0))
+        elif rtype == "generation":
+            entry = scenarios.setdefault(str(record.get("scenario")), {"state": "running"})
+            entry["generation"] = int(record.get("generation", -1)) + 1
+            entry.setdefault(
+                "generations_total",
+                generations_total.get(str(record.get("scenario"))),
+            )
+            entry["best_fitness"] = record.get("best_fitness")
+            entry["evaluations"] = entry.get("evaluations", 0) + int(
+                record.get("evaluations", 0)
+            )
+            entry["cache_hits"] = entry.get("cache_hits", 0) + int(
+                record.get("cache_hits", 0)
+            )
+            entry["cells"] = int(record.get("cells", entry.get("cells", 0)))
+        elif rtype == "metrics":
+            snapshots.append(record)
+        elif rtype == "campaign_complete":
+            status["state"] = "complete"
+        status["updated_at"] = record.get("t", status["updated_at"])
+
+    status["started_at"] = started_at
+    status["scenarios"] = scenarios
+    status["scenarios_total"] = len(scenarios)
+    status["scenarios_completed"] = sum(
+        1 for entry in scenarios.values() if entry.get("state") == "complete"
+    )
+    status["evaluations"] = sum(e.get("evaluations", 0) for e in scenarios.values())
+    status["cache_hits"] = sum(e.get("cache_hits", 0) for e in scenarios.values())
+    lookups = status["evaluations"] + status["cache_hits"]
+    if lookups:
+        status["cache_hit_rate"] = status["cache_hits"] / lookups
+    status["behavior_cells"] = sum(e.get("cells", 0) for e in scenarios.values())
+
+    now = time.time() if status["state"] == "running" else status["updated_at"]
+    if started_at is not None and now is not None:
+        status["elapsed_s"] = max(0.0, now - started_at)
+        status["evals_per_sec"] = _rate(status["evaluations"], status["elapsed_s"])
+
+    # Recent rates from the last two registry snapshots of this run.
+    if len(snapshots) >= 2:
+        last, prev = snapshots[-1], snapshots[-2]
+        dt = last.get("t", 0) - prev.get("t", 0)
+        last_counters = (last.get("registry") or {}).get("counters", {})
+        prev_counters = (prev.get("registry") or {}).get("counters", {})
+        status["evals_per_sec_recent"] = _rate(
+            last_counters.get("fuzzer.evaluations", 0)
+            - prev_counters.get("fuzzer.evaluations", 0),
+            dt,
+        )
+        status["events_per_sec_recent"] = _rate(
+            last_counters.get("sim.events", 0) - prev_counters.get("sim.events", 0),
+            dt,
+        )
+    if snapshots:
+        counters = (snapshots[-1].get("registry") or {}).get("counters", {})
+        status["sim_events"] = int(counters.get("sim.events", 0))
+
+    # Progress and ETA from generation completion across the matrix.
+    total_generations = sum(
+        entry.get("generations_total") or 0 for entry in scenarios.values()
+    )
+    if total_generations:
+        done = 0
+        for entry in scenarios.values():
+            budget = entry.get("generations_total") or 0
+            if entry.get("state") == "complete":
+                done += budget
+            else:
+                done += min(entry.get("generation", 0), budget)
+        fraction = done / total_generations
+        status["progress_fraction"] = fraction
+        if (
+            status["state"] == "running"
+            and 0 < fraction < 1
+            and status["elapsed_s"]
+        ):
+            status["eta_s"] = status["elapsed_s"] * (1 - fraction) / fraction
+    if status["state"] == "complete":
+        status["progress_fraction"] = 1.0
+        status["eta_s"] = 0.0
+
+    status["manifest"] = read_manifest(corpus_dir)
+    return status
+
+
+def _fmt_rate(value: Optional[float], unit: str = "/s") -> str:
+    if value is None:
+        return "n/a"
+    if value >= 10000:
+        return f"{value / 1000:.1f}k{unit}"
+    return f"{value:.1f}{unit}"
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    return f"{value:.0f}s"
+
+
+def format_status(status: Dict[str, Any]) -> str:
+    """Human-readable render of :func:`collect_status`."""
+    if status.get("campaign") is None:
+        return (
+            f"no campaign telemetry under {status.get('corpus_dir', '?')} "
+            "(missing or empty metrics.jsonl)"
+        )
+    lines: List[str] = []
+    resumed = " (resumed)" if status.get("resumed") else ""
+    lines.append(
+        f"campaign {status['campaign']!r} — {str(status['state']).upper()}{resumed}, "
+        f"elapsed {_fmt_seconds(status.get('elapsed_s'))}"
+    )
+    fraction = status.get("progress_fraction")
+    progress = f"{fraction:.0%}" if fraction is not None else "n/a"
+    lines.append(
+        f"scenarios: {status['scenarios_completed']}/{status['scenarios_total']} complete, "
+        f"progress {progress}, ETA {_fmt_seconds(status.get('eta_s'))}"
+    )
+    hit_rate = status.get("cache_hit_rate")
+    hit_text = f"{hit_rate:.1%}" if hit_rate is not None else "n/a"
+    lines.append(
+        f"evals: {status['evaluations']} simulated "
+        f"({_fmt_rate(status.get('evals_per_sec'))} overall, "
+        f"{_fmt_rate(status.get('evals_per_sec_recent'))} recent), "
+        f"cache hit rate {hit_text}"
+    )
+    lines.append(
+        f"sim: {status['sim_events']} events "
+        f"({_fmt_rate(status.get('events_per_sec_recent'), ' ev/s')} recent), "
+        f"behavior cells +{status['behavior_cells']}"
+    )
+    scenarios = status.get("scenarios", {})
+    if scenarios:
+        lines.append("")
+        width = max(len(scenario_id) for scenario_id in scenarios)
+        header = f"  {'scenario'.ljust(width)}  state     gen    best        evals  cells"
+        lines.append(header)
+        for scenario_id in sorted(scenarios):
+            entry = scenarios[scenario_id]
+            total = entry.get("generations_total")
+            gen = f"{entry.get('generation', 0)}/{total}" if total else str(
+                entry.get("generation", 0)
+            )
+            best = entry.get("best_fitness")
+            best_text = f"{best:.4f}" if isinstance(best, (int, float)) else "-"
+            lines.append(
+                f"  {scenario_id.ljust(width)}  "
+                f"{str(entry.get('state', '?')).ljust(8)}  "
+                f"{gen.ljust(5)}  {best_text.ljust(10)}  "
+                f"{str(entry.get('evaluations', 0)).ljust(5)}  "
+                f"{entry.get('cells', 0)}"
+            )
+    return "\n".join(lines)
+
+
+def status_json(status: Dict[str, Any]) -> str:
+    return json.dumps(status, indent=1, sort_keys=True)

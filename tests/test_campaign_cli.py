@@ -67,6 +67,61 @@ class TestCampaignRun:
         origins = {entry.origin for entry in CorpusStore(str(corpus_dir)).entries()}
         assert "builtin" not in origins
 
+    def test_quiet_run_prints_only_the_report(self, spec_path, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        assert campaign_main(
+            ["run", "--spec", str(spec_path), "--corpus", str(corpus_dir), "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out          # the report itself still prints
+        assert "generation " not in out      # progress is suppressed
+        assert "campaign report written" not in out
+
+    def test_no_telemetry_skips_metrics_files(self, spec_path, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        campaign_main(
+            ["run", "--spec", str(spec_path), "--corpus", str(corpus_dir),
+             "--no-telemetry"]
+        )
+        capsys.readouterr()
+        assert not (corpus_dir / "metrics.jsonl").exists()
+        assert not (corpus_dir / "run_manifest.json").exists()
+
+
+class TestCampaignStatus:
+    @pytest.fixture
+    def corpus_dir(self, spec_path, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        campaign_main(["run", "--spec", str(spec_path), "--corpus", str(corpus_dir)])
+        capsys.readouterr()
+        return corpus_dir
+
+    def test_status_renders_progress(self, corpus_dir, capsys):
+        assert campaign_main(["status", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'cli-test' — COMPLETE" in out
+        assert "scenarios: 4/4 complete" in out
+        assert "cache hit rate" in out
+        assert "reno/traffic/throughput/base" in out
+
+    def test_status_json_round_trips(self, corpus_dir, capsys):
+        assert campaign_main(["status", str(corpus_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "cli-test"
+        assert payload["state"] == "complete"
+        assert payload["scenarios_total"] == 4
+
+    def test_status_prometheus_export(self, corpus_dir, capsys):
+        assert campaign_main(["status", str(corpus_dir), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_fuzzer_evaluations counter" in out
+
+    def test_status_without_telemetry_is_an_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            campaign_main(["status", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "no campaign telemetry" in capsys.readouterr().err
+
 
 class TestCampaignReplayAndReport:
     @pytest.fixture

@@ -25,6 +25,7 @@ EXAMPLES = {
     "triage_attack.py": ["--duration", "2.0", "--budget", "20"],
     "coverage_map.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
     "resume_campaign.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
+    "watch_campaign.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
 }
 
 

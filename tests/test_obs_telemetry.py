@@ -1,0 +1,282 @@
+"""End-to-end tests for campaign telemetry: sinks, status, manifests, console.
+
+The headline guarantee is bit-identity: telemetry only *observes* the
+search (instrumented call sites write counters nothing reads back), so a
+campaign run with telemetry on must produce exactly the same deterministic
+digest as one run with telemetry off.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, CorpusStore
+from repro.obs import (
+    MANIFEST_FILENAME,
+    METRICS_FILENAME,
+    PROMETHEUS_FILENAME,
+    CampaignTelemetry,
+    Console,
+    MetricsJsonlSink,
+    MetricsRegistry,
+    PhaseTracer,
+    collect_status,
+    format_status,
+    prometheus_text,
+    read_manifest,
+    read_metrics,
+    set_enabled,
+    spec_fingerprint,
+    status_json,
+    write_prometheus,
+)
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    payload = {
+        "name": "obs-test",
+        "ccas": ["reno"],
+        "modes": ["traffic"],
+        "objectives": ["throughput"],
+        "conditions": [{"name": "base"}],
+        "budget": {"population_size": 4, "generations": 2, "duration": 1.0},
+        "seed": 7,
+        "seed_limit": 2,
+    }
+    payload.update(overrides)
+    return CampaignSpec.from_dict(payload)
+
+
+def run_campaign(corpus_dir, telemetry=True, **spec_overrides):
+    runner = CampaignRunner(
+        tiny_spec(**spec_overrides),
+        CorpusStore(str(corpus_dir)),
+        register_attacks=False,
+        telemetry=telemetry,
+    )
+    return runner.run()
+
+
+class TestBitIdentity:
+    def test_telemetry_on_equals_telemetry_off(self, tmp_path):
+        """The acceptance criterion: identical digests with telemetry on/off."""
+        result_on = run_campaign(tmp_path / "on", telemetry=True)
+        result_off = run_campaign(tmp_path / "off", telemetry=False)
+        assert result_on.deterministic_digest() == result_off.deterministic_digest()
+        assert (tmp_path / "on" / METRICS_FILENAME).exists()
+        assert not (tmp_path / "off" / METRICS_FILENAME).exists()
+        assert not (tmp_path / "off" / MANIFEST_FILENAME).exists()
+
+    def test_globally_disabled_instrumentation_changes_nothing(self, tmp_path):
+        previous = set_enabled(False)
+        try:
+            result_dark = run_campaign(tmp_path / "dark", telemetry=False)
+        finally:
+            set_enabled(previous)
+        result_lit = run_campaign(tmp_path / "lit", telemetry=True)
+        assert result_dark.deterministic_digest() == result_lit.deterministic_digest()
+
+
+class TestTelemetryStream:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        corpus_dir = tmp_path_factory.mktemp("obs-corpus")
+        result = run_campaign(corpus_dir)
+        return corpus_dir, result
+
+    def test_stream_is_well_formed(self, campaign):
+        corpus_dir, _ = campaign
+        records = read_metrics(corpus_dir / METRICS_FILENAME)
+        assert records, "campaign wrote no telemetry records"
+        assert records[0]["type"] == "campaign_start"
+        assert records[-1]["type"] == "campaign_complete"
+        types = {record["type"] for record in records}
+        assert {"scenario_state", "generation", "metrics"} <= types
+        for record in records:
+            assert isinstance(record.get("t"), (int, float))
+
+    def test_generation_records_carry_search_progress(self, campaign):
+        corpus_dir, result = campaign
+        generations = [
+            r for r in read_metrics(corpus_dir / METRICS_FILENAME)
+            if r["type"] == "generation"
+        ]
+        total_evaluations = sum(o.evaluations for o in result.outcomes)
+        assert sum(r["evaluations"] for r in generations) == total_evaluations
+        assert all("best_fitness" in r and "cells" in r for r in generations)
+
+    def test_manifest_matches_the_run(self, campaign):
+        corpus_dir, result = campaign
+        manifest = read_manifest(corpus_dir)
+        assert manifest is not None
+        assert manifest["spec"]["name"] == "obs-test"
+        assert manifest["spec_fingerprint"] == spec_fingerprint(
+            manifest["spec"]
+        )
+        assert manifest["result"]["deterministic_digest"] == result.deterministic_digest()
+        assert manifest["result"]["total_evaluations"] == sum(
+            o.evaluations for o in result.outcomes
+        )
+        assert len(manifest["scenarios"]) == 1
+        assert manifest["host"]["pid"] == os.getpid()
+
+    def test_prometheus_file_is_exported(self, campaign):
+        corpus_dir, _ = campaign
+        text = (corpus_dir / PROMETHEUS_FILENAME).read_text()
+        assert "# TYPE repro_fuzzer_evaluations counter" in text
+        assert "repro_sim_events" in text
+
+    def test_status_view(self, campaign):
+        corpus_dir, result = campaign
+        status = collect_status(corpus_dir)
+        assert status["campaign"] == "obs-test"
+        assert status["state"] == "complete"
+        assert status["scenarios_total"] == status["scenarios_completed"] == 1
+        assert status["evaluations"] == sum(o.evaluations for o in result.outcomes)
+        assert status["progress_fraction"] == 1.0
+        assert status["eta_s"] == 0.0
+        assert status["behavior_cells"] > 0
+        entry = status["scenarios"]["reno/traffic/throughput/base"]
+        assert entry["state"] == "complete"
+        assert entry["generation"] == entry["generations_total"] == 2
+
+        rendered = format_status(status)
+        assert "campaign 'obs-test' — COMPLETE" in rendered
+        assert "reno/traffic/throughput/base" in rendered
+        json.loads(status_json(status))  # round-trips through JSON
+
+    def test_status_tolerates_a_torn_tail(self, campaign):
+        corpus_dir, result = campaign
+        path = corpus_dir / METRICS_FILENAME
+        original = path.read_bytes()
+        try:
+            path.write_bytes(original + b'not json\n{"type": "metrics", "tr')
+            status = collect_status(corpus_dir)
+            assert status["state"] == "complete"
+            assert status["evaluations"] == sum(o.evaluations for o in result.outcomes)
+        finally:
+            path.write_bytes(original)
+
+    def test_status_on_empty_directory(self, tmp_path):
+        status = collect_status(tmp_path)
+        assert status["campaign"] is None
+        assert "no campaign telemetry" in format_status(status)
+
+
+class TestProgressStream:
+    def test_progress_lines_go_to_the_stream(self, tmp_path):
+        stream = io.StringIO()
+        telemetry = CampaignTelemetry(str(tmp_path / "c"), progress_stream=stream)
+        run_campaign(tmp_path / "c", telemetry=telemetry)
+        lines = [line for line in stream.getvalue().splitlines() if line.strip()]
+        assert lines, "no progress lines emitted"
+        assert any("scenario 1/1" in line and "gen" in line for line in lines)
+
+    def test_disabled_telemetry_writes_no_files(self, tmp_path):
+        telemetry = CampaignTelemetry(str(tmp_path), enabled=False)
+        telemetry.campaign_started(tiny_spec())
+        telemetry.campaign_completed(tiny_spec())
+        telemetry.close()
+        assert not (tmp_path / METRICS_FILENAME).exists()
+        assert not (tmp_path / MANIFEST_FILENAME).exists()
+
+
+class TestSinks:
+    def test_sink_throttles_snapshots_but_force_wins(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        sink = MetricsJsonlSink(str(tmp_path), interval_s=3600)
+        sink.maybe_snapshot(registry)          # first one passes
+        sink.maybe_snapshot(registry)          # throttled
+        sink.maybe_snapshot(registry, force=True)
+        sink.close()
+        records = read_metrics(tmp_path / METRICS_FILENAME)
+        assert [r["type"] for r in records] == ["metrics", "metrics"]
+        assert records[-1]["registry"]["counters"]["x"] == 1
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        sink = MetricsJsonlSink(str(tmp_path))
+        sink.emit("metrics", {})
+        sink.close()
+        sink.emit("metrics", {})  # must not raise or resurrect the handle
+        assert len(read_metrics(tmp_path / METRICS_FILENAME)) == 1
+
+    def test_prometheus_rendering(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("sim.events", 5)
+        registry.gauge_set("exec.workers", 2)
+        registry.observe("journal.append_s", 0.5)
+        registry.observe("journal.append_s", 3.0)
+        snapshot = registry.snapshot()
+        text = prometheus_text(snapshot)
+        assert "# TYPE repro_sim_events counter" in text
+        assert "repro_sim_events 5" in text
+        assert "repro_exec_workers 2" in text
+        assert 'repro_journal_append_s_bucket{le="+Inf"} 2' in text
+        assert "repro_journal_append_s_count 2" in text
+        # Cumulative bucket counts never decrease as `le` grows.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_journal_append_s_bucket")
+        ]
+        assert counts == sorted(counts)
+
+        path = write_prometheus(snapshot, str(tmp_path))
+        assert str(path) == str(tmp_path / PROMETHEUS_FILENAME)
+        assert (tmp_path / PROMETHEUS_FILENAME).read_text() == text
+
+
+class TestPhaseTracer:
+    def test_nested_spans_report_depth_and_attribution(self):
+        registry = MetricsRegistry()
+        closed = []
+        tracer = PhaseTracer(registry=registry, on_close=closed.append)
+        with tracer.span("campaign", "c"):
+            with tracer.span("scenario", "s"):
+                registry.inc("fuzzer.evaluations", 3)
+        assert [r["phase"] for r in closed] == ["scenario", "campaign"]
+        scenario, campaign = closed
+        assert scenario["depth"] == 1 and campaign["depth"] == 0
+        assert scenario["counters"]["fuzzer.evaluations"] == 3
+        assert scenario["wall_s"] <= campaign["wall_s"]
+        summary = tracer.summary()
+        assert summary["scenario"]["count"] == 1
+        assert summary["campaign"]["count"] == 1
+
+
+class TestConsole:
+    def test_levels(self):
+        out, err = io.StringIO(), io.StringIO()
+        console = Console(out=out, err=err)
+        console.result("r")
+        console.info("i")
+        console.detail("d")      # verbose-only: suppressed
+        console.status("s")
+        console.error("e")
+        assert out.getvalue() == "r\ni\n"
+        assert err.getvalue() == "s\ne\n"
+
+    def test_quiet_keeps_results_and_errors_only(self):
+        out, err = io.StringIO(), io.StringIO()
+        console = Console(quiet=True, out=out, err=err)
+        console.result("r")
+        console.info("i")
+        console.status("s")
+        console.error("e")
+        assert out.getvalue() == "r\n"
+        assert err.getvalue() == "e\n"
+
+    def test_verbose_adds_detail(self):
+        out = io.StringIO()
+        console = Console(verbose=True, out=out)
+        console.detail("d")
+        assert out.getvalue() == "d\n"
+
+    def test_quiet_and_verbose_conflict(self):
+        with pytest.raises(ValueError):
+            Console(quiet=True, verbose=True)
