@@ -1,0 +1,133 @@
+"""Distributed campaigns: a worker fleet sharing one corpus, surviving a kill.
+
+``run_fleet`` spawns K worker processes over a single corpus directory.  The
+driver journals the campaign and a seed plan once, then every worker loops:
+claim a scenario lease from the shared journal (an owned, heartbeated,
+expiring lock with a fencing epoch), run its GA search with a checkpoint per
+generation, journal the harvested traces as write-ahead corpus inserts, mark
+the scenario complete.  A worker that dies simply stops heartbeating — once
+its lease expires another worker *steals* the scenario and resumes from the
+victim's last checkpoint, while anything the zombie might still write is
+dropped by epoch fencing at replay.
+
+This example demonstrates the whole failure story in one script:
+
+1. run a two-worker fleet in which worker ``w0`` SIGKILLs itself right
+   after its first generation checkpoint (the built-in crash injection,
+   also reachable via ``repro-campaign workers --kill-worker``);
+2. show the steal in the journal: the victim's scenario was re-claimed at
+   lease epoch 2 and completed by a different worker;
+3. run the same spec uninterrupted in a single process (``workers=0``) and
+   verify both campaigns produced bit-identical corpora, behavior maps and
+   summary digests.
+
+Run with no arguments for a laptop-scale demo::
+
+    python examples/worker_fleet.py
+    python examples/worker_fleet.py --workers 3 --generations 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.campaign import CampaignSpec, CorpusStore
+from repro.campaign.worker import run_fleet
+from repro.coverage.archive import BehaviorArchive
+from repro.journal import CampaignJournal
+
+
+def build_spec(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec.from_dict(
+        {
+            "name": "fleet-demo",
+            "ccas": ["reno", "cubic"],
+            "modes": ["traffic"],
+            "objectives": ["throughput"],
+            "conditions": [{"name": "base"}],
+            "budget": {
+                "population_size": args.population,
+                "generations": args.generations,
+                "duration": args.duration,
+            },
+            "seed": args.seed,
+            "seed_limit": 2,
+            # Short lease TTL so the steal happens seconds after the kill;
+            # production fleets keep the default 30s.
+            "lease_ttl": 2.0,
+        }
+    )
+
+
+def behavior_map_of(corpus_dir: str) -> dict:
+    with open(BehaviorArchive.corpus_path(corpus_dir), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--population", type=int, default=4)
+    parser.add_argument("--generations", type=int, default=2)
+    parser.add_argument("--duration", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    spec = build_spec(args)
+    with tempfile.TemporaryDirectory() as workdir:
+        fleet_dir = os.path.join(workdir, "fleet-corpus")
+        print(f"== 1. {args.workers}-worker fleet, w0 killed after its first checkpoint ==")
+        fleet = run_fleet(
+            spec,
+            fleet_dir,
+            workers=args.workers,
+            kill_worker=0,
+            kill_after_checkpoints=1,
+            progress=print,
+        )
+        print(
+            f"fleet finished: {len(fleet.outcomes)} scenarios, "
+            f"{fleet.corpus_stats['entries']} corpus entries"
+        )
+
+        print("\n== 2. the steal, as the journal recorded it ==")
+        view = CampaignJournal(CampaignJournal.corpus_path(fleet_dir)).replay()
+        for scenario_id in sorted(view.leases):
+            lease = view.leases[scenario_id]
+            holder = lease.get("worker_id", "?")
+            epoch = lease.get("lease_epoch", 0)
+            finisher = view.completed.get(scenario_id, {}).get("worker", "?")
+            stolen = " (STOLEN from w0)" if epoch >= 2 else ""
+            print(
+                f"  {scenario_id}: lease epoch {epoch} held by {holder}, "
+                f"completed by {finisher}{stolen}"
+            )
+        print(f"  records fenced at replay: {view.fenced_records}")
+
+        print("\n== 3. uninterrupted single-process control run ==")
+        control_dir = os.path.join(workdir, "control-corpus")
+        control = run_fleet(spec, control_dir, workers=0, progress=print)
+
+        fleet_fps = sorted(CorpusStore(fleet_dir).fingerprints())
+        control_fps = sorted(CorpusStore(control_dir).fingerprints())
+        assert fleet_fps == control_fps, "corpora diverged!"
+        assert behavior_map_of(fleet_dir) == behavior_map_of(control_dir), (
+            "behavior maps diverged!"
+        )
+        assert fleet.deterministic_digest() == control.deterministic_digest(), (
+            "summaries diverged!"
+        )
+        print(
+            f"\nfleet campaign == uninterrupted campaign: "
+            f"{len(fleet_fps)} corpus entries, "
+            f"digest {fleet.deterministic_digest()}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

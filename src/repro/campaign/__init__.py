@@ -25,10 +25,13 @@ from .report import (
 )
 from .scheduler import CampaignResult, CampaignRunner, ScenarioOutcome
 from .spec import CampaignSpec, GaBudget, NetworkCondition, Scenario
+from .worker import FleetWorker, run_fleet
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "FleetWorker",
+    "run_fleet",
     "CampaignSpec",
     "CorpusEntry",
     "CorpusStore",

@@ -26,6 +26,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..journal.log import fsync_dir
 from ..traces.trace import LinkTrace, LossTrace, PacketTrace, TrafficTrace
 
 #: index.json schema version, bumped on incompatible layout changes.
@@ -39,12 +40,17 @@ def atomic_json_dump(payload: Dict[str, Any], path: str, **json_kwargs: Any) -> 
 
     A crash mid-write leaves the previous version intact, never a truncated
     JSON file — the property that keeps a corpus directory loadable after an
-    interrupted campaign.
+    interrupted campaign.  The temp file is fsynced before the rename and the
+    parent directory after it, so the publish also survives power loss, not
+    just process death (same contract as the journal).
     """
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, **json_kwargs)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp_path, path)
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
 def mode_of_trace(trace: PacketTrace) -> str:

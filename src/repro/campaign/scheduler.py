@@ -52,6 +52,7 @@ from ..coverage.archive import BehaviorArchive
 from ..exec.backend import EvaluationBackend, create_backend
 from ..exec.cache import TraceCache
 from ..journal import CampaignJournal, JournalView
+from ..obs.metrics import get_registry
 from ..obs.telemetry import CampaignTelemetry
 from ..scoring.objectives import make_score_function
 from ..tcp.cca import cca_factory
@@ -255,6 +256,9 @@ class CampaignRunner:
         # event payload.  Populated on resume so a re-run harvest replays the
         # journaled intent instead of re-journaling it.
         self._journaled_inserts: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        #: Journaled rediscoveries whose corpus entry had vanished (pruned or
+        #: partial corpus dir) and were re-applied as fresh inserts instead.
+        self.insert_warnings = 0
         self._cell_index: Dict[str, str] = {}
         self._resuming = False
         self._resume_completed: Dict[str, Dict[str, Any]] = {}
@@ -420,6 +424,10 @@ class CampaignRunner:
         * a ``new`` insert is applied only if the fingerprint is still absent;
         * a rediscovery is applied only while the stored entry's counter is
           below the journaled post-insert value;
+        * a rediscovery whose corpus entry is *missing* (hand-pruned corpus
+          dir, partial copy, journal merged from another machine) degrades to
+          applying the insert as new, counted in ``insert_warnings`` —
+          resume must repair such corpora, not crash on them;
         * a duplicate builtin/triage registration is a no-op (as it was live).
         """
         fingerprint = data["fingerprint"]
@@ -431,7 +439,11 @@ class CampaignRunner:
                 if fingerprint not in self.corpus:
                     self.corpus.add(trace, **kwargs)
             elif data.get("rediscoveries_after") is not None:
-                if self.corpus.get(fingerprint).rediscoveries < data["rediscoveries_after"]:
+                if fingerprint not in self.corpus:
+                    self.insert_warnings += 1
+                    get_registry().inc("campaign.insert_warnings")
+                    self.corpus.add(trace, **kwargs)
+                elif self.corpus.get(fingerprint).rediscoveries < data["rediscoveries_after"]:
                     self.corpus.add(trace, **kwargs)
 
     # ------------------------------------------------------------------ #

@@ -172,6 +172,9 @@ class CampaignSpec:
     #: classic fitness-only campaign; "novelty"/"elites" schedule a
     #: behavior-coverage campaign over the shared archive.
     guidance: str = "score"
+    #: Scenario-lease time-to-live (seconds) for fleet workers: a worker that
+    #: misses heartbeats this long is presumed dead and its scenario stolen.
+    lease_ttl: float = 30.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -198,6 +201,8 @@ class CampaignSpec:
             raise ValueError(
                 f"guidance must be one of {GUIDANCE_MODES}, got {self.guidance!r}"
             )
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
         # Reuse FuzzConfig's backend/worker validation early, before any run.
         FuzzConfig(backend=self.backend, workers=self.workers)
 
@@ -248,6 +253,7 @@ class CampaignSpec:
             "workers": self.workers,
             "seed_limit": self.seed_limit,
             "guidance": self.guidance,
+            "lease_ttl": self.lease_ttl,
         }
 
     def to_json(self) -> str:

@@ -42,8 +42,10 @@ from .campaign import (
     format_replay_report,
     read_campaign_report,
     replay_corpus,
+    run_fleet,
     write_campaign_report,
 )
+from .campaign.worker import DEFAULT_POLL_S
 from .core.fuzzer import CCFuzz, FuzzConfig
 from .coverage import (
     GUIDANCE_MODES,
@@ -53,6 +55,7 @@ from .coverage import (
     extract_signature,
 )
 from .exec.backend import create_backend
+from .journal import CampaignJournal
 from .netsim.simulation import SimulationConfig, run_simulation
 from .obs import (
     METRICS_FILENAME,
@@ -821,7 +824,50 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     )
     _add_triage_options(triage_parser)
 
-    for subparser in (run_parser, status_parser, replay_parser, report_parser, triage_parser):
+    workers_parser = subparsers.add_parser(
+        "workers",
+        help="run a campaign with a fleet of worker processes sharing one "
+             "corpus (expired leases are stolen; digest matches a serial run)",
+    )
+    workers_parser.add_argument("--spec", type=str, required=True, help="campaign spec JSON file")
+    workers_parser.add_argument("--corpus", type=str, required=True, help="shared corpus directory")
+    workers_parser.add_argument(
+        "-n", "--workers", type=int, default=2,
+        help="worker processes to spawn (0 = run everything inline in this process)",
+    )
+    workers_parser.add_argument(
+        "--poll", type=float, default=DEFAULT_POLL_S,
+        help="seconds an idle worker waits between lease-claim attempts",
+    )
+    workers_parser.add_argument(
+        "--no-attacks", action="store_true",
+        help="do not register the builtin attack library as initial corpus entries",
+    )
+    workers_parser.add_argument(
+        "--harvest-top-k", type=int, default=3,
+        help="how many top traces per scenario to store in the corpus",
+    )
+    workers_parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="do not write metrics.jsonl / metrics.prom / run_manifest.json",
+    )
+    workers_parser.add_argument(
+        "--kill-worker", type=int, default=None, help=argparse.SUPPRESS,
+    )
+    workers_parser.add_argument(
+        "--kill-after-checkpoints", type=int, default=None, help=argparse.SUPPRESS,
+    )
+
+    compact_parser = subparsers.add_parser(
+        "compact",
+        help="fold a corpus's journal into one snapshot record (replay-equivalent)",
+    )
+    compact_parser.add_argument(
+        "corpus", type=str, help="corpus directory holding journal.jsonl",
+    )
+
+    for subparser in (run_parser, status_parser, replay_parser, report_parser,
+                      triage_parser, workers_parser, compact_parser):
         add_console_flags(subparser)
 
     args = parser.parse_args(argv)
@@ -883,6 +929,50 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         console.result(format_campaign_report(result))
         report_path = write_campaign_report(result, args.corpus)
         console.info(f"\ncampaign report written to {report_path}")
+        return 0
+
+    if args.command == "workers":
+        if args.workers < 0:
+            parser.error("--workers must be >= 0")
+        if args.harvest_top_k < 1:
+            parser.error("--harvest-top-k must be at least 1")
+        if (args.kill_worker is None) != (args.kill_after_checkpoints is None):
+            parser.error("--kill-worker and --kill-after-checkpoints go together")
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = CampaignSpec.from_json(handle.read())
+        result = run_fleet(
+            spec,
+            args.corpus,
+            workers=args.workers,
+            poll_s=args.poll,
+            kill_worker=args.kill_worker,
+            kill_after_checkpoints=args.kill_after_checkpoints,
+            register_attacks=not args.no_attacks,
+            harvest_top_k=args.harvest_top_k,
+            telemetry=not args.no_telemetry,
+            progress=console.info,
+        )
+        console.info()
+        console.result(format_campaign_report(result))
+        report_path = write_campaign_report(result, args.corpus)
+        console.info(f"\ncampaign report written to {report_path}")
+        return 0
+
+    if args.command == "compact":
+        journal_path = CampaignJournal.corpus_path(args.corpus)
+        if not os.path.exists(journal_path):
+            parser.error(f"no journal at {journal_path}")
+        stats = CampaignJournal(journal_path).compact()
+        if stats is None:
+            console.result("journal is empty; nothing to compact")
+            return 0
+        console.result(
+            f"compacted {stats['records_before']} records "
+            f"({stats['bytes_before']} bytes) into 1 snapshot record "
+            f"({stats['bytes_after']} bytes)"
+            + (f"; skipped {stats['torn_records']} torn record(s)"
+               if stats["torn_records"] else "")
+        )
         return 0
 
     if args.command == "status":

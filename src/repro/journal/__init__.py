@@ -16,11 +16,19 @@ from .events import (
     JournalRecord,
     canonical_json,
 )
-from .log import CampaignJournal, merge_journals, merge_records
-from .view import JournalView, replay_records
+from .log import (
+    DEFAULT_LEASE_TTL,
+    CampaignJournal,
+    fsync_dir,
+    merge_journals,
+    merge_records,
+)
+from .view import FENCED_EVENT_TYPES, JournalView, lease_epoch_of, replay_records
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "EVENT_TYPES",
+    "FENCED_EVENT_TYPES",
     "JOURNAL_SCHEMA",
     "CampaignJournal",
     "JournalCorruption",
@@ -28,6 +36,8 @@ __all__ = [
     "JournalRecord",
     "JournalView",
     "canonical_json",
+    "fsync_dir",
+    "lease_epoch_of",
     "merge_journals",
     "merge_records",
     "replay_records",

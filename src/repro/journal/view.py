@@ -4,6 +4,21 @@ The fold is deliberately CRDT-like: records are deduplicated by content and
 applied in ``(seq, type, dedup_key)`` order with keyed last-writer-wins (or
 max-generation) semantics, so replaying a merged journal gives the same view
 regardless of which machine's records came first.
+
+Leases are a real coordination primitive, not a log line: a
+``scenario_lease`` record may carry ``worker_id``, ``lease_epoch`` and
+``expires_at``; the view tracks the *current* holder per scenario (highest
+epoch wins, first writer wins among equal epochs, which keeps legacy
+epoch-less leases on their original first-wins semantics).  ``lease_renew``
+pushes the current holder's expiry forward and ``lease_release`` retires it.
+
+Fencing: a data record (checkpoint, delta, insert, completion) written under
+a lease carries that lease's epoch.  During the fold, a record whose epoch is
+*lower* than the highest lease epoch granted at an earlier sequence number is
+dropped (counted in ``fenced_records``) — a zombie worker whose lease was
+stolen cannot corrupt the view, while everything the victim wrote *before*
+the steal stays visible so the thief can resume from its checkpoint.
+Records without a ``lease_epoch`` (legacy serial campaigns) are never fenced.
 """
 
 from __future__ import annotations
@@ -12,6 +27,27 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .events import JournalRecord
+
+#: Event types subject to lease-epoch fencing.
+FENCED_EVENT_TYPES = (
+    "generation_checkpoint",
+    "behavior_delta",
+    "corpus_insert",
+    "scenario_complete",
+)
+
+#: Version of the ``compaction_snapshot`` payload layout.
+SNAPSHOT_VIEW_SCHEMA = 1
+
+
+def lease_epoch_of(payload: Optional[Dict[str, Any]]) -> int:
+    """The lease epoch a payload carries (legacy epoch-less records are 0)."""
+    if not payload:
+        return 0
+    try:
+        return int(payload.get("lease_epoch") or 0)
+    except (TypeError, ValueError):
+        return 0
 
 
 @dataclass
@@ -22,7 +58,8 @@ class JournalView:
     campaign: Optional[Dict[str, Any]] = None
     #: ``campaign_resume`` payloads, in fold order.
     resumes: List[Dict[str, Any]] = field(default_factory=list)
-    #: scenario_id -> ``scenario_lease`` payload (first lease wins).
+    #: scenario_id -> current-holder ``scenario_lease`` payload (highest
+    #: epoch wins; ``lease_renew``/``lease_release`` update it in place).
     leases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: scenario_id -> latest ``generation_checkpoint`` payload.
     checkpoints: Dict[str, Dict[str, Any]] = field(default_factory=dict)
@@ -40,10 +77,16 @@ class JournalView:
     behavior_deltas: List[Dict[str, Any]] = field(default_factory=list)
     #: latest evaluation-cache dump carried by a checkpoint/completion, if any.
     cache_state: Optional[Dict[str, Any]] = None
+    #: latest ``scenario_seeds`` payload (the fleet's journaled seed plan).
+    scenario_seeds: Optional[Dict[str, Any]] = None
 
     record_count: int = 0
     duplicates: int = 0
     torn_records: int = 0
+    #: stale-epoch records dropped by lease fencing.
+    fenced_records: int = 0
+    #: records folded away by an applied ``compaction_snapshot``.
+    compacted_records: int = 0
     last_seq: int = 0
 
     def pending_checkpoints(self) -> Dict[str, Dict[str, Any]]:
@@ -80,6 +123,192 @@ class JournalView:
                 counters = delta["counters"]
         return cells, counters
 
+    # ------------------------------------------------------------------ #
+    # Lease state
+    # ------------------------------------------------------------------ #
+
+    def lease_holder(self, scenario_id: str, now: float) -> Optional[str]:
+        """The worker holding a *live* lease on the scenario, or ``None``.
+
+        A lease is live iff it has not been released and its ``expires_at``
+        lies in the future.  Legacy leases without an expiry (the old
+        log-line form) never count as a live hold — they predate leases
+        meaning anything, so a fleet may claim over them.
+        """
+        lease = self.leases.get(scenario_id)
+        if not lease or lease.get("released"):
+            return None
+        expires = lease.get("expires_at")
+        if expires is None:
+            return None
+        try:
+            if float(expires) <= now:
+                return None
+        except (TypeError, ValueError):
+            return None
+        worker = lease.get("worker_id")
+        return str(worker) if worker else ""
+
+    def lease_claimable(self, scenario_id: str, now: float) -> bool:
+        """Whether a worker may claim the scenario right now."""
+        return (
+            scenario_id not in self.completed
+            and self.lease_holder(scenario_id, now) is None
+        )
+
+    def next_lease_epoch(self, scenario_id: str) -> int:
+        """The epoch a fresh claim of this scenario must use."""
+        return lease_epoch_of(self.leases.get(scenario_id)) + 1
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """The ``compaction_snapshot`` payload equivalent to this view.
+
+        Equivalence is over everything a resume consumes: the campaign and
+        resume records, current lease state, the journaled seed plan,
+        *pending* checkpoints (completed scenarios' checkpoints are dead
+        weight — nothing reads them), completions, the full behavior-delta
+        list (kept verbatim so limit-aware folds still work after later
+        checkpoints move a scenario's limit), the latest cache dump, and the
+        insert WAL folded to the latest record per (scenario, fingerprint)
+        — applying only the latest is corpus-equivalent because every event
+        for a fingerprint carries the full entry and applies idempotently.
+        """
+        latest_insert: Dict[Any, int] = {}
+        for index, data in enumerate(self.inserts):
+            latest_insert[(data.get("scenario_id"), data.get("fingerprint"))] = index
+        folded_inserts = [self.inserts[i] for i in sorted(latest_insert.values())]
+        return {
+            "snapshot_schema": SNAPSHOT_VIEW_SCHEMA,
+            "last_seq": self.last_seq,
+            "view": {
+                "campaign": self.campaign,
+                "resumes": list(self.resumes),
+                "leases": {sid: dict(lease) for sid, lease in self.leases.items()},
+                "scenario_seeds": self.scenario_seeds,
+                "checkpoints": dict(self.pending_checkpoints()),
+                "completed": dict(self.completed),
+                "behavior_deltas": list(self.behavior_deltas),
+                "cache_state": self.cache_state,
+                "inserts": folded_inserts,
+                "record_count": self.record_count + self.compacted_records,
+            },
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Per-type fold helpers (shared by record replay and snapshot seeding)
+# ---------------------------------------------------------------------- #
+
+
+def _fold_lease(
+    view: JournalView, data: Dict[str, Any], max_epoch: Dict[str, int]
+) -> None:
+    scenario_id = data["scenario_id"]
+    epoch = lease_epoch_of(data)
+    max_epoch[scenario_id] = max(max_epoch.get(scenario_id, 0), epoch)
+    current = view.leases.get(scenario_id)
+    if current is None or epoch > lease_epoch_of(current):
+        view.leases[scenario_id] = dict(data)
+
+
+def _fold_lease_renew(view: JournalView, data: Dict[str, Any]) -> None:
+    current = view.leases.get(data.get("scenario_id", ""))
+    if current is not None and lease_epoch_of(data) == lease_epoch_of(current):
+        if "expires_at" in data:
+            current["expires_at"] = data["expires_at"]
+
+
+def _fold_lease_release(view: JournalView, data: Dict[str, Any]) -> None:
+    current = view.leases.get(data.get("scenario_id", ""))
+    if current is not None and lease_epoch_of(data) == lease_epoch_of(current):
+        current["released"] = True
+
+
+def _fold_checkpoint(view: JournalView, data: Dict[str, Any]) -> None:
+    scenario_id = data["scenario_id"]
+    current = view.checkpoints.get(scenario_id)
+    if current is None or data["generation"] >= current["generation"]:
+        view.checkpoints[scenario_id] = data
+    if data.get("cache") is not None:
+        view.cache_state = data["cache"]
+
+
+def _fold_delta(view: JournalView, data: Dict[str, Any]) -> None:
+    view.behavior_deltas.append(data)
+    for cell, payload in data.get("cells", {}).items():
+        view.behavior_cells[cell] = payload
+    counters = data.get("counters")
+    if counters is not None:
+        view.archive_counters = counters
+
+
+def _fold_insert(view: JournalView, data: Dict[str, Any]) -> None:
+    view.inserts.append(data)
+    per_scenario = view.inserts_by_scenario.setdefault(data["scenario_id"], {})
+    per_scenario[data["fingerprint"]] = data
+
+
+def _fold_complete(view: JournalView, data: Dict[str, Any]) -> None:
+    view.completed[data["scenario_id"]] = data
+    if data.get("cache") is not None:
+        view.cache_state = data["cache"]
+
+
+def _is_fenced(data: Dict[str, Any], max_epoch: Dict[str, int]) -> bool:
+    """Stale-epoch check: fenced iff the record's epoch predates the highest
+    lease epoch already folded (i.e. granted at a lower sequence number)."""
+    epoch = data.get("lease_epoch")
+    if epoch is None:
+        return False
+    scenario_id = data.get("scenario_id", "")
+    try:
+        return int(epoch) < max_epoch.get(scenario_id, 0)
+    except (TypeError, ValueError):
+        return False
+
+
+def _fold_snapshot(
+    view: JournalView, data: Dict[str, Any], max_epoch: Dict[str, int]
+) -> None:
+    """Seed the view from a ``compaction_snapshot`` payload.
+
+    Data records are re-folded through the same per-type helpers replay
+    uses, *before* the snapshot's lease state enters the fencing map — the
+    snapshotted records already passed fencing when the snapshot was taken,
+    and a victim's pre-steal checkpoint must stay visible.  Folding the lease
+    epochs afterwards re-arms the fence against zombie records appended
+    after the compaction.
+    """
+    snapshot_view = data.get("view")
+    if not isinstance(snapshot_view, dict):
+        return
+    if view.campaign is None and snapshot_view.get("campaign") is not None:
+        view.campaign = snapshot_view["campaign"]
+    view.resumes.extend(snapshot_view.get("resumes") or [])
+    for checkpoint in (snapshot_view.get("checkpoints") or {}).values():
+        _fold_checkpoint(view, checkpoint)
+    for delta in snapshot_view.get("behavior_deltas") or []:
+        _fold_delta(view, delta)
+    for insert in snapshot_view.get("inserts") or []:
+        _fold_insert(view, insert)
+    for _, payload in sorted((snapshot_view.get("completed") or {}).items()):
+        _fold_complete(view, payload)
+    if snapshot_view.get("cache_state") is not None:
+        view.cache_state = snapshot_view["cache_state"]
+    if snapshot_view.get("scenario_seeds") is not None:
+        view.scenario_seeds = snapshot_view["scenario_seeds"]
+    for _, lease in sorted((snapshot_view.get("leases") or {}).items()):
+        if isinstance(lease, dict) and "scenario_id" in lease:
+            _fold_lease(view, lease, max_epoch)
+    try:
+        view.compacted_records += int(snapshot_view.get("record_count") or 0)
+    except (TypeError, ValueError):
+        pass
+
 
 def replay_records(
     records: List[JournalRecord], *, torn_records: int = 0
@@ -87,6 +316,8 @@ def replay_records(
     """Fold intact records into a :class:`JournalView`."""
     view = JournalView(torn_records=torn_records)
     seen: set = set()
+    #: scenario_id -> highest lease epoch granted so far in fold order.
+    max_epoch: Dict[str, int] = {}
     for record in sorted(records, key=lambda r: (r.seq, r.type, r.dedup_key())):
         key = record.dedup_key()
         if key in seen:
@@ -96,35 +327,32 @@ def replay_records(
         view.record_count += 1
         view.last_seq = max(view.last_seq, record.seq)
         data = record.data
+        if record.type in FENCED_EVENT_TYPES and _is_fenced(data, max_epoch):
+            view.fenced_records += 1
+            continue
         if record.type == "campaign_start":
             if view.campaign is None:
                 view.campaign = data
         elif record.type == "campaign_resume":
             view.resumes.append(data)
         elif record.type == "scenario_lease":
-            view.leases.setdefault(data["scenario_id"], data)
+            _fold_lease(view, data, max_epoch)
+        elif record.type == "lease_renew":
+            _fold_lease_renew(view, data)
+        elif record.type == "lease_release":
+            _fold_lease_release(view, data)
+        elif record.type == "scenario_seeds":
+            view.scenario_seeds = data
         elif record.type == "generation_checkpoint":
-            scenario_id = data["scenario_id"]
-            current = view.checkpoints.get(scenario_id)
-            if current is None or data["generation"] >= current["generation"]:
-                view.checkpoints[scenario_id] = data
-            if data.get("cache") is not None:
-                view.cache_state = data["cache"]
+            _fold_checkpoint(view, data)
         elif record.type == "behavior_delta":
-            view.behavior_deltas.append(data)
-            for cell, payload in data.get("cells", {}).items():
-                view.behavior_cells[cell] = payload
-            counters = data.get("counters")
-            if counters is not None:
-                view.archive_counters = counters
+            _fold_delta(view, data)
         elif record.type == "corpus_insert":
-            view.inserts.append(data)
-            per_scenario = view.inserts_by_scenario.setdefault(data["scenario_id"], {})
-            per_scenario[data["fingerprint"]] = data
+            _fold_insert(view, data)
         elif record.type == "scenario_complete":
-            view.completed[data["scenario_id"]] = data
-            if data.get("cache") is not None:
-                view.cache_state = data["cache"]
+            _fold_complete(view, data)
+        elif record.type == "compaction_snapshot":
+            _fold_snapshot(view, data, max_epoch)
         # Unknown event types within a supported schema are ignored, so a
         # newer writer's extra events do not break an older reader.
     return view

@@ -62,6 +62,7 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
         "behavior_cells": 0,
         "progress_fraction": None,
         "eta_s": None,
+        "workers": {},
         "manifest": None,
     }
     if not records:
@@ -69,11 +70,40 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
 
     generations_total: Dict[str, int] = {}
     scenarios: Dict[str, Dict[str, Any]] = {}
+    workers: Dict[str, Dict[str, Any]] = {}
     snapshots: List[Dict[str, Any]] = []
     started_at: Optional[float] = None
 
     for record in records:
         rtype = record["type"]
+        # Fleet workers stamp their identity into every record they emit;
+        # fold those into per-worker rows (single-process campaigns emit no
+        # "worker" field and the table stays empty).
+        worker_id = record.get("worker")
+        if worker_id is not None:
+            worker = workers.setdefault(
+                str(worker_id),
+                {
+                    "scenario": None,
+                    "scenarios_completed": 0,
+                    "generations": 0,
+                    "evaluations": 0,
+                    "cache_hits": 0,
+                    "last_seen": None,
+                },
+            )
+            worker["last_seen"] = record.get("t", worker["last_seen"])
+            if rtype == "generation":
+                worker["scenario"] = record.get("scenario")
+                worker["generations"] += 1
+                worker["evaluations"] += int(record.get("evaluations", 0))
+                worker["cache_hits"] += int(record.get("cache_hits", 0))
+            elif rtype == "scenario_state":
+                if record.get("state") == "complete":
+                    worker["scenarios_completed"] += 1
+                    worker["scenario"] = None
+                else:
+                    worker["scenario"] = record.get("scenario")
         if rtype in ("campaign_start", "campaign_resume"):
             status["campaign"] = record.get("campaign")
             status["state"] = "running"
@@ -188,6 +218,7 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
         status["progress_fraction"] = 1.0
         status["eta_s"] = 0.0
 
+    status["workers"] = workers
     status["manifest"] = read_manifest(corpus_dir)
     return status
 
@@ -262,6 +293,23 @@ def format_status(status: Dict[str, Any]) -> str:
                 f"{gen.ljust(5)}  {best_text.ljust(10)}  "
                 f"{str(entry.get('evaluations', 0)).ljust(5)}  "
                 f"{entry.get('cells', 0)}"
+            )
+    workers = status.get("workers") or {}
+    if workers:
+        lines.append("")
+        width = max(len(worker_id) for worker_id in workers)
+        width = max(width, len("worker"))
+        lines.append(
+            f"  {'worker'.ljust(width)}  done  gens   evals  on"
+        )
+        for worker_id in sorted(workers):
+            row = workers[worker_id]
+            lines.append(
+                f"  {worker_id.ljust(width)}  "
+                f"{str(row.get('scenarios_completed', 0)).ljust(4)}  "
+                f"{str(row.get('generations', 0)).ljust(5)}  "
+                f"{str(row.get('evaluations', 0)).ljust(5)}  "
+                f"{row.get('scenario') or '-'}"
             )
     return "\n".join(lines)
 

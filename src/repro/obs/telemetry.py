@@ -40,9 +40,13 @@ class CampaignTelemetry:
         enabled: bool = True,
         progress_stream: Optional[IO[str]] = None,
         interval_s: float = DEFAULT_SNAPSHOT_INTERVAL_S,
+        worker_id: Optional[str] = None,
     ) -> None:
         self.enabled = enabled
         self.corpus_dir = str(corpus_dir)
+        #: Fleet worker identity stamped into every emitted record (``worker``
+        #: field), so ``repro-campaign status`` can render per-worker rows.
+        self.worker_id = worker_id
         self._progress_stream = progress_stream
         self._started_at: Optional[float] = None
         self._scenario_totals: Dict[str, int] = {}
@@ -82,7 +86,7 @@ class CampaignTelemetry:
         for scenario in scenarios:
             self._scenario_totals[scenario.scenario_id] = scenario.budget.generations
         assert self._sink is not None
-        self._sink.emit(
+        self._emit(
             "campaign_resume" if resumed else "campaign_start",
             {
                 "campaign": spec.name,
@@ -99,7 +103,7 @@ class CampaignTelemetry:
         if not self.enabled:
             return contextlib.nullcontext()
         assert self._sink is not None
-        self._sink.emit(
+        self._emit(
             "scenario_state",
             {"scenario": scenario.scenario_id, "state": "running"},
         )
@@ -112,7 +116,7 @@ class CampaignTelemetry:
             return
         self._scenario_progress[scenario.scenario_id] = stats.generation + 1
         assert self._sink is not None
-        self._sink.emit(
+        self._emit(
             "generation",
             {
                 "scenario": scenario.scenario_id,
@@ -133,7 +137,7 @@ class CampaignTelemetry:
         self._completed += 1
         self._scenario_progress.pop(outcome.scenario.scenario_id, None)
         assert self._sink is not None
-        self._sink.emit(
+        self._emit(
             "scenario_state",
             {
                 "scenario": outcome.scenario.scenario_id,
@@ -152,7 +156,7 @@ class CampaignTelemetry:
         phases = self.tracer.summary() if self.tracer is not None else {}
         assert self._sink is not None
         self._sink.maybe_snapshot(registry, force=True)
-        self._sink.emit(
+        self._emit(
             "campaign_complete",
             {
                 "campaign": spec.name,
@@ -172,6 +176,13 @@ class CampaignTelemetry:
             ),
             self.corpus_dir,
         )
+
+    def _emit(self, record_type: str, payload: Dict[str, Any]) -> None:
+        assert self._sink is not None
+        if self.worker_id is not None:
+            payload = dict(payload)
+            payload["worker"] = self.worker_id
+        self._sink.emit(record_type, payload)
 
     def close(self) -> None:
         """Idempotent; the scheduler's finally-block calls this."""
@@ -221,4 +232,4 @@ class CampaignTelemetry:
 
     def _span_closed(self, record: Dict[str, Any]) -> None:
         if self._sink is not None:
-            self._sink.emit("span", record)
+            self._emit("span", record)

@@ -179,6 +179,90 @@ def test_resume_after_kill_before_corpus_rename(tmp_path, spec_file, baseline):
     assert not leftover
 
 
+# ---------------------------------------------------------------------- #
+# Fleet crash recovery: kill a *worker* (the driver survives and the lease
+# is stolen), and kill the *driver* (a rerun resumes the fleet campaign).
+# ---------------------------------------------------------------------- #
+
+FLEET_SPEC_PAYLOAD = dict(SPEC_PAYLOAD, name="crash-recovery-fleet", lease_ttl=2.0)
+
+
+@pytest.fixture()
+def fleet_spec_file(tmp_path):
+    path = tmp_path / "fleet-spec.json"
+    path.write_text(json.dumps(FLEET_SPEC_PAYLOAD), encoding="utf-8")
+    return str(path)
+
+
+def run_fleet_sim(corpus_dir: str, spec_file: str, *extra: str) -> dict:
+    """Run crashsim in fleet mode to completion; returns its JSON report.
+
+    Worker subprocesses share stdout, so the report is the last line.
+    """
+    argv = [
+        sys.executable, CRASHSIM,
+        "--corpus", str(corpus_dir), "--spec", spec_file, "--fleet",
+    ] + list(extra)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(CRASHSIM), "..", "src")
+    proc = subprocess.run(argv, env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"fleet harness failed: {proc.returncode}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def fleet_baseline(tmp_path_factory):
+    """Uninterrupted inline (``--fleet 0``) control for the fleet spec."""
+    corpus_dir = tmp_path_factory.mktemp("fleet-baseline") / "corpus"
+    spec_path = corpus_dir.parent / "spec.json"
+    spec_path.write_text(json.dumps(FLEET_SPEC_PAYLOAD), encoding="utf-8")
+    return run_fleet_sim(corpus_dir, str(spec_path), "0")
+
+
+@pytest.mark.slow
+def test_fleet_kill_worker_mid_generation(tmp_path, fleet_spec_file, fleet_baseline):
+    """Worker w0 SIGKILLs itself right after its first generation checkpoint;
+    the survivor steals the lease, resumes from the checkpoint, and the
+    campaign is bit-identical to the uninterrupted control."""
+    corpus_dir = tmp_path / "corpus"
+    report = run_fleet_sim(
+        corpus_dir, fleet_spec_file,
+        "2", "--kill-worker", "0", "--kill-after-checkpoints", "1",
+    )
+    assert report == fleet_baseline
+    view = CampaignJournal(CampaignJournal.corpus_path(str(corpus_dir))).replay()
+    stolen = [
+        sid for sid, lease in view.leases.items()
+        if lease.get("lease_epoch", 0) >= 2
+    ]
+    assert stolen, "the killed worker's lease was never stolen"
+
+
+@pytest.mark.slow
+def test_fleet_driver_killed_then_resumed(tmp_path, fleet_spec_file, fleet_baseline):
+    """SIGKILL the fleet *driver* mid-scenario (after the second generation
+    checkpoint of its inline drain); rerunning the same fleet command resumes
+    the campaign from the journal to bit-identity."""
+    corpus_dir = tmp_path / "corpus"
+    argv = [
+        sys.executable, CRASHSIM,
+        "--corpus", str(corpus_dir), "--spec", fleet_spec_file,
+        "--fleet", "0", "--point", "post-checkpoint", "--nth", "2",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(CRASHSIM), "..", "src")
+    proc = subprocess.run(argv, env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    view = CampaignJournal(CampaignJournal.corpus_path(str(corpus_dir))).replay()
+    assert view.scenario_seeds is not None
+    assert view.pending_checkpoints()
+    report = run_fleet_sim(corpus_dir, fleet_spec_file, "0")
+    assert report == fleet_baseline
+
+
 @pytest.mark.slow
 def test_double_crash_then_resume(tmp_path, spec_file, baseline):
     """A resumed run that is itself SIGKILLed still resumes to bit-identity."""

@@ -110,6 +110,170 @@ def test_merge_is_idempotent_and_ordered(records):
     )
 
 
+@st.composite
+def lease_ops_st(draw):
+    """A timeline of lease operations by competing workers.
+
+    Each op is ``(kind, worker, dt)``: the clock advances by ``dt`` then the
+    worker claims, renews its last lease, or releases it.
+    """
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["claim", "renew", "release"]),
+                st.sampled_from(["w0", "w1", "w2"]),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=24,
+        )
+    )
+
+
+@given(ops=lease_ops_st())
+@settings(max_examples=40, deadline=None)
+def test_lease_protocol_admits_at_most_one_live_holder(ops):
+    """Model-based safety: under any interleaving of claim/renew/release and
+    clock advances, the journal grants a claim exactly when the model says no
+    live lease exists, epochs increase by one per grant, and the replayed
+    holder always matches the model's."""
+    TTL = 5.0
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = CampaignJournal(os.path.join(tmp, "journal.jsonl"), fsync=False)
+        now = 0.0
+        model = None  # (worker, epoch, expires_at, released)
+        held = {}  # worker -> its live lease payload
+        for kind, worker, dt in ops:
+            now += dt
+            live = (
+                model is not None
+                and not model[3]
+                and model[2] > now
+            )
+            if kind == "claim":
+                lease = journal.claim_lease("sid", worker, ttl=TTL, now=now)
+                if live:
+                    assert lease is None
+                else:
+                    assert lease is not None
+                    assert lease["lease_epoch"] == (model[1] if model else 0) + 1
+                    model = (worker, lease["lease_epoch"], now + TTL, False)
+                    held[worker] = lease
+            elif kind == "renew" and worker in held:
+                journal.renew_lease(held[worker], now=now)
+                if model and model[0] == worker and model[1] == held[worker]["lease_epoch"]:
+                    model = (model[0], model[1], now + TTL, model[3])
+            elif kind == "release" and worker in held:
+                journal.release_lease(held.pop(worker))
+                if model and model[0] == worker:
+                    model = (model[0], model[1], model[2], True)
+            expected = (
+                model[0]
+                if model is not None and not model[3] and model[2] > now
+                else None
+            )
+            assert journal.replay().lease_holder("sid", now) == expected
+
+
+@st.composite
+def fenced_timeline_st(draw):
+    """Interleaved claims and epoch-stamped checkpoints for one scenario."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.just(("claim", None)),
+                st.tuples(
+                    st.just("checkpoint"),
+                    st.tuples(
+                        st.integers(min_value=0, max_value=4),  # epoch offset back
+                        st.integers(min_value=0, max_value=5),  # generation
+                    ),
+                ),
+            ),
+            min_size=1,
+            max_size=16,
+        )
+    )
+
+
+@given(timeline=fenced_timeline_st())
+@settings(max_examples=60, deadline=None)
+def test_fencing_drops_exactly_the_stale_epoch_records(timeline):
+    """Fold-level fencing: a checkpoint is dropped iff its epoch is lower
+    than the highest lease epoch granted earlier in the log."""
+    records = []
+    seq = 0
+    granted = 0
+    kept = {}  # what an unfenced fold should retain (max-gen, ties -> later)
+    expected_fenced = 0
+    for kind, payload in timeline:
+        seq += 1
+        if kind == "claim":
+            granted += 1
+            records.append(
+                make_record(
+                    seq,
+                    "scenario_lease",
+                    {"scenario_id": "sid", "worker_id": "w", "lease_epoch": granted,
+                     "expires_at": 10.0**9, "nonce": seq},
+                )
+            )
+        else:
+            offset, generation = payload
+            epoch = max(0, granted - offset)
+            records.append(
+                make_record(
+                    seq,
+                    "generation_checkpoint",
+                    {"scenario_id": "sid", "generation": generation,
+                     "lease_epoch": epoch, "nonce": seq},
+                )
+            )
+            if epoch < granted:
+                expected_fenced += 1
+            elif not kept or generation >= kept["generation"]:
+                kept = {"generation": generation, "nonce": seq}
+    view = replay_records(records)
+    assert view.fenced_records == expected_fenced
+    if kept:
+        assert view.checkpoints["sid"]["nonce"] == kept["nonce"]
+    else:
+        assert "sid" not in view.checkpoints
+
+
+def resume_fingerprint(view) -> tuple:
+    """Everything a fleet resume reads (compaction must preserve this)."""
+    return (
+        view.campaign,
+        view.resumes,
+        view.leases,
+        view.scenario_seeds,
+        view.pending_checkpoints(),
+        view.completed,
+        view.behavior_deltas,
+        view.behavior_cells,
+        view.archive_counters,
+        view.cache_state,
+        view.inserts_by_scenario,
+    )
+
+
+@given(records=records_st(min_size=1))
+@settings(max_examples=40, deadline=None)
+def test_compact_is_replay_equivalent(records):
+    """compact() folds any journal into one snapshot whose replay preserves
+    every resume-relevant field, and appends continue the sequence."""
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = CampaignJournal(os.path.join(tmp, "journal.jsonl"), fsync=False)
+        for record in records:
+            journal.append(record.type, record.data)
+        before = journal.replay()
+        stats = journal.compact()
+        assert stats is not None and stats["records_after"] == 1
+        after = journal.replay()
+        assert resume_fingerprint(after) == resume_fingerprint(before)
+        assert journal.append("campaign_resume", {}).seq == before.last_seq + 1
+
+
 @given(
     records=records_st(min_size=1),
     cut=st.integers(min_value=1, max_value=200),
