@@ -51,6 +51,8 @@ from ..core.fuzzer import CCFuzz
 from ..coverage.archive import BehaviorArchive
 from ..exec.backend import EvaluationBackend, create_backend
 from ..exec.cache import TraceCache
+from ..exec.faults import FaultPolicy
+from ..exec.quarantine import QuarantineStore
 from ..journal import CampaignJournal, JournalView
 from ..obs.metrics import get_registry
 from ..obs.telemetry import CampaignTelemetry
@@ -245,6 +247,15 @@ class CampaignRunner:
         # live --progress line, or False to disable (pure-compute runs,
         # overhead benchmarks).  Telemetry is strictly observational, so the
         # flag never changes results — only whether they are visible.
+        # Deterministic crashers are quarantined next to the corpus, with the
+        # journal as write-ahead log: the hook appends a ``job_quarantined``
+        # event before quarantine.json is rewritten, so resume and fleet
+        # workers replay the same refusals no matter where a crash landed.
+        journal_hook: Optional[Callable[[Dict[str, Any]], None]] = None
+        if self._journal is not None:
+            owned_journal = self._journal
+            journal_hook = lambda entry: owned_journal.append("job_quarantined", entry)
+        self.quarantine = QuarantineStore.for_corpus(corpus.path, journal_hook=journal_hook)
         if telemetry is True:
             self._telemetry = CampaignTelemetry(corpus.path)
         elif telemetry is False or telemetry is None:
@@ -332,6 +343,11 @@ class CampaignRunner:
             scenario_key: dict(by_fingerprint)
             for scenario_key, by_fingerprint in view.inserts_by_scenario.items()
         }
+        # Quarantine repair mirrors the corpus WAL: re-apply journaled
+        # ``job_quarantined`` events idempotently, completing any
+        # quarantine.json write the crash cut off mid-flight.
+        for entry in view.quarantined:
+            self.quarantine.apply_event(entry)
         # 2. Behavior archive: the constructor seeded ``self.archive`` with
         #    the journaled baseline; fold the deltas back in.  The in-flight
         #    scenario's deltas apply only up to its checkpoint generation
@@ -498,6 +514,11 @@ class CampaignRunner:
         started = time.perf_counter()
         journal = self._journal
         parallel = self.max_parallel > 1
+        if not parallel:
+            # Serial campaigns stamp scenario provenance into new quarantine
+            # entries.  Parallel campaigns interleave scenarios on one shared
+            # store, so entries stay unstamped rather than mis-stamped.
+            self.quarantine.context = {"scenario_id": scenario.scenario_id}
         if journal is not None:
             journal.append(
                 "scenario_lease",
@@ -656,7 +677,23 @@ class CampaignRunner:
             self.spec, resumed=self._resuming, completed=self._resume_completed
         )
 
-        backend = self._injected_backend or create_backend(self.spec.backend, self.spec.workers)
+        if self._injected_backend is not None:
+            backend = self._injected_backend
+            # An injected backend keeps its own timeout/retry policy, but a
+            # campaign always contributes its quarantine store so refusals
+            # persist and replay, unless the caller installed one themselves.
+            if backend.policy.quarantine is None:
+                backend.policy.quarantine = self.quarantine
+        else:
+            backend = create_backend(
+                self.spec.backend,
+                self.spec.workers,
+                policy=FaultPolicy(
+                    job_timeout=self.spec.job_timeout,
+                    max_retries=self.spec.max_retries,
+                    quarantine=self.quarantine,
+                ),
+            )
         owns_backend = self._injected_backend is None
         cache = self._injected_cache
         if cache is None:

@@ -101,6 +101,8 @@ class Scenario:
     budget: GaBudget
     seed: int
     guidance: str = "score"                #: search-guidance strategy for this cell
+    job_timeout: Optional[float] = None    #: per-job wall-clock limit (seconds)
+    max_retries: int = 2                   #: retries after a worker death
 
     @property
     def scenario_id(self) -> str:
@@ -132,6 +134,8 @@ class Scenario:
             seed=self.seed,
             sim=self.sim_config(),
             guidance=self.guidance,
+            job_timeout=self.job_timeout,
+            max_retries=self.max_retries,
         )
 
     def describe(self) -> Dict[str, Any]:
@@ -175,6 +179,12 @@ class CampaignSpec:
     #: Scenario-lease time-to-live (seconds) for fleet workers: a worker that
     #: misses heartbeats this long is presumed dead and its scenario stolen.
     lease_ttl: float = 30.0
+    #: Per-evaluation wall-clock limit (seconds); enforced by the process
+    #: backend, which kills and replaces the worker running an overdue job.
+    job_timeout: Optional[float] = None
+    #: How often a job whose pool worker died is retried (with exponential
+    #: backoff) before being failed and quarantined as a worker-killer.
+    max_retries: int = 2
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -203,8 +213,14 @@ class CampaignSpec:
             )
         if self.lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
-        # Reuse FuzzConfig's backend/worker validation early, before any run.
-        FuzzConfig(backend=self.backend, workers=self.workers)
+        # Reuse FuzzConfig's validation early, before any run: backend name,
+        # worker count and the fault-tolerance knobs all share one rulebook.
+        FuzzConfig(
+            backend=self.backend,
+            workers=self.workers,
+            job_timeout=self.job_timeout,
+            max_retries=self.max_retries,
+        )
 
     # ------------------------------------------------------------------ #
     # Matrix expansion
@@ -228,6 +244,8 @@ class CampaignSpec:
                                 budget=self.budget,
                                 seed=_scenario_seed(self.seed, scenario_id),
                                 guidance=self.guidance,
+                                job_timeout=self.job_timeout,
+                                max_retries=self.max_retries,
                             )
                         )
         return scenarios
@@ -254,6 +272,8 @@ class CampaignSpec:
             "seed_limit": self.seed_limit,
             "guidance": self.guidance,
             "lease_ttl": self.lease_ttl,
+            "job_timeout": self.job_timeout,
+            "max_retries": self.max_retries,
         }
 
     def to_json(self) -> str:

@@ -51,6 +51,8 @@ from ..core.fuzzer import CCFuzz
 from ..coverage.archive import BehaviorArchive
 from ..exec.backend import EvaluationBackend, create_backend
 from ..exec.cache import TraceCache
+from ..exec.faults import FaultPolicy
+from ..exec.quarantine import QuarantineStore
 from ..journal import CampaignJournal, JournalView
 from ..obs.telemetry import CampaignTelemetry
 from ..scoring.objectives import make_score_function
@@ -128,6 +130,13 @@ class FleetWorker:
         self._progress = progress or (lambda message: None)
         self.journal = CampaignJournal(CampaignJournal.corpus_path(self.corpus_dir))
         self.corpus = CorpusStore(self.corpus_dir)
+        # Quarantine state lives in the journal, not in a file this worker
+        # owns: entries journal through the hook (epoch-stamped, so fenced
+        # like any other record) and flow back in via replay; the driver
+        # materialises quarantine.json once, at finalize.
+        self.quarantine = QuarantineStore(
+            journal_hook=lambda entry: self.journal.append("job_quarantined", entry)
+        )
         self.scenarios_run = 0
 
     # ------------------------------------------------------------------ #
@@ -165,12 +174,30 @@ class FleetWorker:
         telemetry = CampaignTelemetry(
             self.corpus_dir, enabled=self._telemetry_enabled, worker_id=self.worker_id
         )
-        backend = self._injected_backend or create_backend(spec.backend, spec.workers)
+        if self._injected_backend is not None:
+            backend = self._injected_backend
+            if backend.policy.quarantine is None:
+                backend.policy.quarantine = self.quarantine
+        else:
+            backend = create_backend(
+                spec.backend,
+                spec.workers,
+                policy=FaultPolicy(
+                    job_timeout=spec.job_timeout,
+                    max_retries=spec.max_retries,
+                    quarantine=self.quarantine,
+                ),
+            )
         owns_backend = self._injected_backend is None
         scenarios = spec.expand()
         try:
             while True:
                 view = self.journal.replay()
+                # Other workers' quarantines arrive through replay; folding
+                # them in (idempotently) means this worker refuses a crasher
+                # a sibling already paid for, instead of re-discovering it.
+                for entry in view.quarantined:
+                    self.quarantine.apply_event(entry)
                 pending = [
                     scenario
                     for scenario in scenarios
@@ -235,6 +262,13 @@ class FleetWorker:
         started = time.perf_counter()
         scenario_id = scenario.scenario_id
         epoch = lease.get("lease_epoch", 0)
+        # Full fleet provenance on every quarantine entry this scenario
+        # produces — and the epoch fences the journal event on lease steals.
+        self.quarantine.context = {
+            "scenario_id": scenario_id,
+            "lease_epoch": epoch,
+            "worker": self.worker_id,
+        }
         checkpoint = view.checkpoints.get(scenario_id)
         resume_state = checkpoint["fuzzer"] if checkpoint is not None else None
         stolen = checkpoint is not None
@@ -618,6 +652,11 @@ def run_fleet(
     view = journal.replay()
     for data in view.inserts:
         runner._apply_insert_event(data)
+    # Workers journal quarantines but never touch quarantine.json (one file,
+    # many processes); the driver folds the surviving — unfenced — events
+    # into the corpus-backed store here, exactly once.
+    for entry in view.quarantined:
+        runner.quarantine.apply_event(entry)
     outcomes = []
     for scenario in scenarios:
         payload = view.completed.get(scenario.scenario_id)

@@ -751,6 +751,16 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     )
     run_parser.add_argument("--workers", type=int, default=None, help="override the spec's pool size")
     run_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="override the spec's per-evaluation wall-clock limit "
+             "(process backend kills and replaces the overdue worker)",
+    )
+    run_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="override the spec's retry budget for evaluations whose pool "
+             "worker died",
+    )
+    run_parser.add_argument(
         "--max-parallel", type=int, default=1,
         help="scenarios run concurrently over the shared backend (1 = fully reproducible serial order)",
     )
@@ -836,6 +846,15 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         help="worker processes to spawn (0 = run everything inline in this process)",
     )
     workers_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="override the spec's per-evaluation wall-clock limit",
+    )
+    workers_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="override the spec's retry budget for evaluations whose pool "
+             "worker died",
+    )
+    workers_parser.add_argument(
         "--poll", type=float, default=DEFAULT_POLL_S,
         help="seconds an idle worker waits between lease-claim attempts",
     )
@@ -880,6 +899,10 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             parser.error("--harvest-top-k must be at least 1")
         if args.workers is not None and args.workers < 1:
             parser.error("--workers must be at least 1")
+        if args.job_timeout is not None and not args.job_timeout > 0:
+            parser.error("--job-timeout must be positive")
+        if args.max_retries is not None and args.max_retries < 0:
+            parser.error("--max-retries must be non-negative")
         if args.no_telemetry and args.progress:
             parser.error("--progress needs telemetry; drop --no-telemetry")
         if args.no_telemetry:
@@ -905,6 +928,10 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 runner.spec.backend = args.backend
             if args.workers is not None:
                 runner.spec.workers = args.workers
+            if args.job_timeout is not None:
+                runner.spec.job_timeout = args.job_timeout
+            if args.max_retries is not None:
+                runner.spec.max_retries = args.max_retries
         else:
             if args.spec is None:
                 parser.error("one of --spec or --resume is required")
@@ -914,6 +941,10 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 spec.backend = args.backend
             if args.workers is not None:
                 spec.workers = args.workers
+            if args.job_timeout is not None:
+                spec.job_timeout = args.job_timeout
+            if args.max_retries is not None:
+                spec.max_retries = args.max_retries
             corpus = CorpusStore(args.corpus)
             runner = CampaignRunner(
                 spec,
@@ -938,8 +969,16 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             parser.error("--harvest-top-k must be at least 1")
         if (args.kill_worker is None) != (args.kill_after_checkpoints is None):
             parser.error("--kill-worker and --kill-after-checkpoints go together")
+        if args.job_timeout is not None and not args.job_timeout > 0:
+            parser.error("--job-timeout must be positive")
+        if args.max_retries is not None and args.max_retries < 0:
+            parser.error("--max-retries must be non-negative")
         with open(args.spec, "r", encoding="utf-8") as handle:
             spec = CampaignSpec.from_json(handle.read())
+        if args.job_timeout is not None:
+            spec.job_timeout = args.job_timeout
+        if args.max_retries is not None:
+            spec.max_retries = args.max_retries
         result = run_fleet(
             spec,
             args.corpus,

@@ -29,6 +29,7 @@ from ..coverage.archive import BehaviorArchive
 from ..coverage.guidance import GUIDANCE_MODES, make_guidance
 from ..coverage.signature import signature_from_summary
 from ..exec.backend import BACKENDS, EvaluationBackend, SerialBackend, create_backend
+from ..exec.faults import FaultPolicy
 from ..exec.batch import evaluate_coalesced
 from ..exec.cache import TraceCache, cca_identity, make_cache_key
 from ..exec.workers import EvaluationJob, EvaluationOutcome, simulate_packet_trace
@@ -104,6 +105,14 @@ class FuzzConfig:
     workers: Optional[int] = None          #: pool size (None = one per CPU)
     use_cache: bool = True                 #: memoize (trace, cca, sim) -> score
 
+    # Fault tolerance (see repro.exec.faults).  job_timeout is enforced by
+    # the process backend only: a job running longer has its worker killed
+    # and is failed as a deterministic "timeout".  max_retries bounds how
+    # often a job whose worker died is re-run before it is failed (and
+    # quarantined) as a persistent worker-killer.
+    job_timeout: Optional[float] = None    #: per-job wall-clock limit in seconds
+    max_retries: int = 2                   #: retries after a worker death
+
     # Behavior-coverage guidance.  "score" (default) is the paper's pure
     # fitness search and stays bit-identical to the pre-coverage fuzzer;
     # "novelty" blends archive rarity into selection and immigrates from
@@ -144,6 +153,10 @@ class FuzzConfig:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.job_timeout is not None and not self.job_timeout > 0:
+            raise ValueError("job_timeout must be positive (or None to disable)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         if self.guidance not in GUIDANCE_MODES:
             raise ValueError(
                 f"guidance must be one of {GUIDANCE_MODES}, got {self.guidance!r}"
@@ -605,7 +618,10 @@ class CCFuzz:
             return None, False
         if self._injected_backend is not None:
             return self._injected_backend, False
-        return create_backend(self.config.backend, self.config.workers), True
+        policy = FaultPolicy(
+            job_timeout=self.config.job_timeout, max_retries=self.config.max_retries
+        )
+        return create_backend(self.config.backend, self.config.workers, policy=policy), True
 
     def _advance(self, model: IslandModel, generation: int) -> int:
         """Construct the next generation (migration + offspring); returns its index.
@@ -643,6 +659,11 @@ class CCFuzz:
                 "generations": self.config.generations,
                 "seed": self.config.seed,
                 "guidance": self.config.guidance,
+                # Fault-tolerance knobs ride along for provenance but are
+                # not part of the resume identity: resuming under a longer
+                # timeout (or more retries) is explicitly allowed.
+                "job_timeout": self.config.job_timeout,
+                "max_retries": self.config.max_retries,
             },
             "identity": {
                 "cca_key": self.cca_key,
@@ -682,7 +703,11 @@ class CCFuzz:
             "seed": cfg.seed,
             "guidance": cfg.guidance,
         }
-        if dict(state["config"]) != expected:  # type: ignore[arg-type]
+        recorded = dict(state["config"])  # type: ignore[arg-type]
+        # Only the identity keys gate resume; fault-tolerance knobs
+        # (job_timeout, max_retries) are operational and may change between
+        # checkpoint and resume, and pre-fault snapshots lack them entirely.
+        if {key: recorded.get(key) for key in expected} != expected:
             raise ValueError(
                 f"snapshot was taken under a different configuration: "
                 f"{state['config']!r} != {expected!r}"

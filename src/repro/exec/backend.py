@@ -1,4 +1,4 @@
-"""Evaluation backends: serial, thread pool and process pool.
+"""Evaluation backends: serial, thread pool and supervised process pool.
 
 A backend turns a batch of :class:`EvaluationJob` objects into their
 outcomes, always **in input order** — callers rely on positional
@@ -12,28 +12,48 @@ Backend selection guidance:
 * :class:`ThreadBackend` — the simulator is pure Python, so the GIL
   serialises most of the work; useful mainly for testing the batching
   machinery and for any future C-accelerated simulator core.
-* :class:`ProcessPoolBackend` — real parallelism via ``multiprocessing``
-  with chunked submission; the win once ``population × islands`` dwarfs the
-  per-process pickling cost.  Requires picklable CCA factories.
+* :class:`ProcessPoolBackend` — real parallelism on a
+  :class:`~repro.exec.supervisor.SupervisedProcessPool`; the win once
+  ``population × islands`` dwarfs the per-process pickling cost, and the
+  only backend that can kill hung jobs and survive hard-exiting ones.
+  Requires picklable CCA factories.
 
-Pools are created lazily on first use and reused across generations; call
-:meth:`EvaluationBackend.close` (or use the backend as a context manager)
-to release workers.
+Every backend runs jobs through the guarded evaluation path: an evaluation
+that raises, returns garbage, times out or kills its worker produces a
+deterministic *failure outcome* (penalty score + ``summary["failure"]``
+metadata) instead of propagating — see :mod:`repro.exec.faults`.  A batch
+never raises because of what one job did.  When the attached
+:class:`~repro.exec.faults.FaultPolicy` carries a quarantine store,
+deterministic crashers are recorded there and refused on every later
+encounter without executing.
+
+Pools are created lazily on first use, reused across generations, and
+lazily restarted after :meth:`EvaluationBackend.close` (which is
+idempotent); use the backend as a context manager to release workers.
 """
 
 from __future__ import annotations
 
 import abc
 import contextlib
-import multiprocessing
 import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import get_registry
-from .workers import EvaluationJob, EvaluationOutcome, evaluate_job
+from .cache import cca_identity
+from .chaos import active_plan
+from .faults import (
+    EvaluationFailure,
+    FaultPolicy,
+    failure_outcome,
+    guarded_evaluate,
+    job_fingerprint,
+)
+from .supervisor import SupervisedProcessPool, SupervisorError
+from .workers import EvaluationJob, EvaluationOutcome
 
 #: Backend names accepted by :func:`create_backend` and the CLI.
 BACKENDS = ("serial", "thread", "process")
@@ -42,15 +62,115 @@ BACKENDS = ("serial", "thread", "process")
 def _default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
+#: Failure kinds that prove a job deterministically bad (quarantined on
+#: first sight).  ``worker-death`` joins them only after retries exhaust.
+_DETERMINISTIC_KINDS = ("crash", "garbage", "timeout")
+
 
 class EvaluationBackend(abc.ABC):
     """Executes batches of evaluation jobs, preserving input order."""
 
     name: str = "abstract"
 
-    @abc.abstractmethod
+    def __init__(self, policy: Optional[FaultPolicy] = None) -> None:
+        self.policy = policy if policy is not None else FaultPolicy()
+
     def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
-        """Evaluate every job; ``result[i]`` corresponds to ``jobs[i]``."""
+        """Evaluate every job; ``result[i]`` corresponds to ``jobs[i]``.
+
+        Template method: quarantined jobs are refused up front, the rest run
+        on the concrete backend's :meth:`_run_jobs`, and failures among the
+        results are counted and (when deterministic) quarantined.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        with self._record_batch(len(jobs)):
+            blocked = self._quarantine_precheck(jobs)
+            if not blocked:
+                outcomes = self._run_jobs(jobs)
+            else:
+                pending = [
+                    (index, job) for index, job in enumerate(jobs) if index not in blocked
+                ]
+                executed = self._run_jobs([job for _, job in pending]) if pending else []
+                outcomes = [None] * len(jobs)  # type: ignore[list-item]
+                for (index, _), outcome in zip(pending, executed):
+                    outcomes[index] = outcome
+                for index, outcome in blocked.items():
+                    outcomes[index] = outcome
+            self._account_outcomes(outcomes)
+            return outcomes
+
+    @abc.abstractmethod
+    def _run_jobs(self, jobs: List[EvaluationJob]) -> List[EvaluationOutcome]:
+        """Evaluate non-quarantined jobs through the guarded path."""
+
+    def _resolve(self, pair: Tuple[str, Any]) -> EvaluationOutcome:
+        status, payload = pair
+        if status == "ok":
+            return payload
+        return failure_outcome(payload, self.policy)
+
+    def _quarantine_precheck(
+        self, jobs: Sequence[EvaluationJob]
+    ) -> Dict[int, EvaluationOutcome]:
+        """Failure outcomes for jobs the quarantine store refuses to run."""
+        store = self.policy.quarantine
+        if store is None or len(store) == 0:
+            return {}
+        blocked: Dict[int, EvaluationOutcome] = {}
+        identities: Dict[int, str] = {}  # CCA identity per factory, per batch
+        for index, job in enumerate(jobs):
+            cca = identities.get(id(job.cca_factory))
+            if cca is None:
+                try:
+                    cca = cca_identity(job.cca_factory())
+                except Exception:
+                    continue  # a crashing factory fails during execution instead
+                identities[id(job.cca_factory)] = cca
+            entry = store.find(job_fingerprint(job), cca)
+            if entry is None:
+                continue
+            refusal = EvaluationFailure(
+                kind="quarantined",
+                message=f"refused by quarantine ({entry.get('kind')}: {entry.get('message')})",
+                fingerprint=str(entry.get("fingerprint", "unknown")),
+                cca=cca,
+                attempts=int(entry.get("attempts", 1)),
+                quarantined=True,
+            )
+            blocked[index] = failure_outcome(refusal, self.policy)
+        return blocked
+
+    def _account_outcomes(self, outcomes: Sequence[EvaluationOutcome]) -> None:
+        """Count failures and quarantine the deterministic ones."""
+        registry = get_registry()
+        for _, summary in outcomes:
+            failure = summary.get("failure") if isinstance(summary, dict) else None
+            if not isinstance(failure, dict):
+                continue
+            kind = str(failure.get("kind", "crash"))
+            registry.inc("exec.failures")
+            registry.inc(f"exec.failures.{kind}")
+            if failure.get("quarantined"):
+                registry.inc("exec.quarantine_hits")
+                continue
+            store = self.policy.quarantine
+            if store is None:
+                continue
+            deterministic = kind in _DETERMINISTIC_KINDS or (
+                kind == "worker-death"
+                and int(failure.get("attempts", 0)) > self.policy.max_retries
+            )
+            if not deterministic:
+                continue
+            try:
+                record = EvaluationFailure.from_dict(failure)
+            except (KeyError, ValueError, TypeError):
+                continue
+            if store.record(record):
+                registry.inc("exec.quarantined")
 
     @contextlib.contextmanager
     def _record_batch(self, batch_size: int) -> Iterator[None]:
@@ -80,7 +200,7 @@ class EvaluationBackend(abc.ABC):
             )
 
     def close(self) -> None:
-        """Release any pooled workers (idempotent)."""
+        """Release any pooled workers (idempotent; pools restart lazily)."""
 
     def __enter__(self) -> "EvaluationBackend":
         return self
@@ -97,9 +217,11 @@ class SerialBackend(EvaluationBackend):
 
     name = "serial"
 
-    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
-        with self._record_batch(len(jobs)):
-            return [evaluate_job(job) for job in jobs]
+    def _run_jobs(self, jobs: List[EvaluationJob]) -> List[EvaluationOutcome]:
+        chaos = active_plan()
+        return [
+            self._resolve(guarded_evaluate(job, chaos, allow_exit=False)) for job in jobs
+        ]
 
 
 class ThreadBackend(EvaluationBackend):
@@ -107,7 +229,10 @@ class ThreadBackend(EvaluationBackend):
 
     name = "thread"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self, workers: Optional[int] = None, policy: Optional[FaultPolicy] = None
+    ) -> None:
+        super().__init__(policy)
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers or _default_workers()
@@ -116,7 +241,8 @@ class ThreadBackend(EvaluationBackend):
 
     def _pool(self) -> ThreadPoolExecutor:
         # Guarded: campaign coordinator threads share one backend and may
-        # race to trigger the lazy pool creation.
+        # race to trigger the lazy pool creation (or its lazy restart after
+        # close()).
         with self._init_lock:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
@@ -124,11 +250,12 @@ class ThreadBackend(EvaluationBackend):
                 )
             return self._executor
 
-    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
-        if not jobs:
-            return []
-        with self._record_batch(len(jobs)):
-            return list(self._pool().map(evaluate_job, jobs))
+    def _run_jobs(self, jobs: List[EvaluationJob]) -> List[EvaluationOutcome]:
+        chaos = active_plan()
+        pairs = self._pool().map(
+            lambda job: guarded_evaluate(job, chaos, allow_exit=False), jobs
+        )
+        return [self._resolve(pair) for pair in pairs]
 
     def close(self) -> None:
         if self._executor is not None:
@@ -137,12 +264,15 @@ class ThreadBackend(EvaluationBackend):
 
 
 class ProcessPoolBackend(EvaluationBackend):
-    """Evaluate jobs on a ``multiprocessing.Pool`` with chunked submission.
+    """Evaluate jobs on a supervised process pool with chunked prefetch.
 
-    ``chunk_size`` controls how many jobs each worker message carries;
+    ``chunk_size`` controls how many jobs each worker may hold at once;
     ``None`` picks ``ceil(len(jobs) / (4 × workers))`` so every worker gets a
     few chunks per batch — large enough to amortise pickling, small enough to
-    balance uneven simulation times.
+    balance uneven simulation times.  This is the only backend that enforces
+    ``FaultPolicy.job_timeout`` and survives hard-exiting evaluations; if
+    the pool cannot start at all (fork failure, fd exhaustion) the batch
+    degrades to in-process serial evaluation rather than aborting.
     """
 
     name = "process"
@@ -152,24 +282,28 @@ class ProcessPoolBackend(EvaluationBackend):
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         mp_context: Optional[str] = None,
+        policy: Optional[FaultPolicy] = None,
     ) -> None:
+        super().__init__(policy)
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
         self.workers = workers or _default_workers()
         self.chunk_size = chunk_size
-        self._context = multiprocessing.get_context(mp_context)
-        self._pool_instance: Optional[multiprocessing.pool.Pool] = None
+        self._mp_context = mp_context
+        self._pool_instance: Optional[SupervisedProcessPool] = None
         self._init_lock = threading.Lock()
 
-    def _pool(self) -> "multiprocessing.pool.Pool":
+    def _pool(self) -> SupervisedProcessPool:
         # Guarded: campaign coordinator threads share one backend and may
-        # race to trigger the lazy pool creation.  Pool.map itself is
+        # race to trigger the lazy pool creation.  submit_batch itself is
         # thread-safe, so concurrent batches then interleave freely.
         with self._init_lock:
             if self._pool_instance is None:
-                self._pool_instance = self._context.Pool(processes=self.workers)
+                self._pool_instance = SupervisedProcessPool(
+                    self.workers, policy=self.policy, mp_context=self._mp_context
+                )
             return self._pool_instance
 
     def _chunk_size(self, batch_size: int) -> int:
@@ -177,22 +311,30 @@ class ProcessPoolBackend(EvaluationBackend):
             return self.chunk_size
         return max(1, -(-batch_size // (4 * self.workers)))
 
-    def evaluate_batch(self, jobs: Sequence[EvaluationJob]) -> List[EvaluationOutcome]:
-        if not jobs:
-            return []
-        with self._record_batch(len(jobs)):
-            return self._pool().map(
-                evaluate_job, jobs, chunksize=self._chunk_size(len(jobs))
+    def _run_jobs(self, jobs: List[EvaluationJob]) -> List[EvaluationOutcome]:
+        chaos = active_plan()
+        try:
+            pairs = self._pool().submit_batch(
+                jobs, chaos=chaos, prefetch=self._chunk_size(len(jobs))
             )
+        except SupervisorError:
+            # Graceful degradation: a pool that cannot even start must not
+            # kill the campaign — evaluate inline instead.
+            get_registry().inc("exec.serial_fallbacks")
+            pairs = [guarded_evaluate(job, chaos, allow_exit=False) for job in jobs]
+        return [self._resolve(pair) for pair in pairs]
 
     def close(self) -> None:
         if self._pool_instance is not None:
             self._pool_instance.close()
-            self._pool_instance.join()
             self._pool_instance = None
 
 
-def create_backend(name: str, workers: Optional[int] = None) -> EvaluationBackend:
+def create_backend(
+    name: str,
+    workers: Optional[int] = None,
+    policy: Optional[FaultPolicy] = None,
+) -> EvaluationBackend:
     """Build a backend by name (``serial``, ``thread`` or ``process``).
 
     ``workers`` validation lives in the pool constructors (the layer that
@@ -201,7 +343,7 @@ def create_backend(name: str, workers: Optional[int] = None) -> EvaluationBacken
     if name not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend(policy=policy)
     if name == "thread":
-        return ThreadBackend(workers=workers)
-    return ProcessPoolBackend(workers=workers)
+        return ThreadBackend(workers=workers, policy=policy)
+    return ProcessPoolBackend(workers=workers, policy=policy)

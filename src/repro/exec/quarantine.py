@@ -1,0 +1,156 @@
+"""Permanent quarantine for deterministically failing evaluations.
+
+A :class:`QuarantineStore` remembers ``(trace fingerprint, CCA identity)``
+pairs that failed deterministically (crash, garbage return, timeout, or a
+worker-killer that exhausted its retries) together with provenance: the
+failure kind, message, attempt count and — when a campaign attaches context
+— the scenario, lease epoch and worker that first saw the failure.
+
+Persistence follows the journal's write-ahead discipline: ``record`` first
+hands the entry to the ``journal_hook`` (which appends a ``job_quarantined``
+event), then applies it to memory and atomically rewrites
+``quarantine.json``.  Resume and fleet finalisation replay journal events
+through :meth:`apply_event`, which is idempotent and never re-journals, so
+crashes between the journal append and the file write converge to the same
+store.  File contents are fully deterministic (sorted entries, no wall
+times): two runs quarantining the same jobs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .faults import EvaluationFailure
+
+QUARANTINE_FILENAME = "quarantine.json"
+QUARANTINE_SCHEMA = 1
+
+#: Keys a campaign may stamp into ``QuarantineStore.context`` so entries and
+#: journal events carry fleet provenance (and fence correctly on lease
+#: steals: the view fences by ``scenario_id`` + ``lease_epoch``).
+CONTEXT_KEYS = ("scenario_id", "lease_epoch", "worker")
+
+
+def _atomic_json_dump(payload: Any, path: Path) -> None:
+    """Crash-safe JSON write: temp file, fsync, rename, directory fsync."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class QuarantineStore:
+    """Thread-safe set of quarantined jobs, optionally file/journal-backed."""
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        journal_hook: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self._path = Path(path) if path is not None else None
+        self._journal_hook = journal_hook
+        self._lock = threading.RLock()
+        self._entries: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        #: Provenance merged into every new entry; fleet workers set
+        #: ``{"scenario_id": ..., "lease_epoch": ..., "worker": ...}`` per
+        #: scenario, single-process campaigns stamp only ``scenario_id``
+        #: (epoch-less events are never fenced, matching serial inserts).
+        self.context: Dict[str, Any] = {}
+        if self._path is not None and self._path.exists():
+            self._load(self._path)
+
+    @classmethod
+    def for_corpus(
+        cls,
+        corpus_dir: Union[str, Path],
+        journal_hook: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> "QuarantineStore":
+        return cls(Path(corpus_dir) / QUARANTINE_FILENAME, journal_hook=journal_hook)
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All entries, sorted by (fingerprint, cca) — the file order."""
+        with self._lock:
+            return [dict(self._entries[key]) for key in sorted(self._entries)]
+
+    def find(self, fingerprint: str, cca: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            entry = self._entries.get((fingerprint, cca))
+            return dict(entry) if entry is not None else None
+
+    def record(self, failure: EvaluationFailure) -> bool:
+        """Quarantine a freshly observed deterministic failure.
+
+        Write-ahead: the journal hook runs before the entry is applied or
+        persisted.  Returns True when the entry is new; an already-known
+        (fingerprint, cca) is a no-op that never re-journals.
+        """
+        entry = failure.to_dict()
+        entry.pop("quarantined", None)
+        with self._lock:
+            entry.update(self.context)
+            key = (entry["fingerprint"], entry["cca"])
+            if key in self._entries:
+                return False
+            if self._journal_hook is not None:
+                self._journal_hook(dict(entry))
+            self._entries[key] = entry
+            self._persist()
+            return True
+
+    def apply_event(self, entry: Dict[str, Any]) -> bool:
+        """Idempotently apply a replayed ``job_quarantined`` event."""
+        entry = dict(entry)
+        key = (str(entry.get("fingerprint", "unknown")), str(entry.get("cca", "unknown")))
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = entry
+            self._persist()
+            return True
+
+    def _persist(self) -> None:
+        if self._path is None:
+            return
+        payload = {
+            "schema": QUARANTINE_SCHEMA,
+            "entries": [self._entries[key] for key in sorted(self._entries)],
+        }
+        _atomic_json_dump(payload, self._path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return  # a torn file rebuilds from the journal on resume
+        for entry in payload.get("entries", []):
+            if isinstance(entry, dict) and "fingerprint" in entry and "cca" in entry:
+                self._entries[(str(entry["fingerprint"]), str(entry["cca"]))] = dict(entry)

@@ -38,6 +38,7 @@ EVENT_TYPES = (
     "behavior_delta",
     "corpus_insert",
     "scenario_complete",
+    "job_quarantined",
     "compaction_snapshot",
 )
 

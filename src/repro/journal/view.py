@@ -34,6 +34,7 @@ FENCED_EVENT_TYPES = (
     "behavior_delta",
     "corpus_insert",
     "scenario_complete",
+    "job_quarantined",
 )
 
 #: Version of the ``compaction_snapshot`` payload layout.
@@ -79,6 +80,10 @@ class JournalView:
     cache_state: Optional[Dict[str, Any]] = None
     #: latest ``scenario_seeds`` payload (the fleet's journaled seed plan).
     scenario_seeds: Optional[Dict[str, Any]] = None
+    #: ``job_quarantined`` payloads in fold order (the quarantine WAL);
+    #: resume and fleet finalisation replay these through
+    #: :meth:`repro.exec.quarantine.QuarantineStore.apply_event`.
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
 
     record_count: int = 0
     duplicates: int = 0
@@ -181,6 +186,10 @@ class JournalView:
         for index, data in enumerate(self.inserts):
             latest_insert[(data.get("scenario_id"), data.get("fingerprint"))] = index
         folded_inserts = [self.inserts[i] for i in sorted(latest_insert.values())]
+        latest_quarantine: Dict[Any, int] = {}
+        for index, data in enumerate(self.quarantined):
+            latest_quarantine[(data.get("fingerprint"), data.get("cca"))] = index
+        folded_quarantined = [self.quarantined[i] for i in sorted(latest_quarantine.values())]
         return {
             "snapshot_schema": SNAPSHOT_VIEW_SCHEMA,
             "last_seq": self.last_seq,
@@ -194,6 +203,7 @@ class JournalView:
                 "behavior_deltas": list(self.behavior_deltas),
                 "cache_state": self.cache_state,
                 "inserts": folded_inserts,
+                "quarantined": folded_quarantined,
                 "record_count": self.record_count + self.compacted_records,
             },
         }
@@ -252,6 +262,10 @@ def _fold_insert(view: JournalView, data: Dict[str, Any]) -> None:
     per_scenario[data["fingerprint"]] = data
 
 
+def _fold_quarantine(view: JournalView, data: Dict[str, Any]) -> None:
+    view.quarantined.append(data)
+
+
 def _fold_complete(view: JournalView, data: Dict[str, Any]) -> None:
     view.completed[data["scenario_id"]] = data
     if data.get("cache") is not None:
@@ -295,6 +309,8 @@ def _fold_snapshot(
         _fold_delta(view, delta)
     for insert in snapshot_view.get("inserts") or []:
         _fold_insert(view, insert)
+    for entry in snapshot_view.get("quarantined") or []:
+        _fold_quarantine(view, entry)
     for _, payload in sorted((snapshot_view.get("completed") or {}).items()):
         _fold_complete(view, payload)
     if snapshot_view.get("cache_state") is not None:
@@ -349,6 +365,8 @@ def replay_records(
             _fold_delta(view, data)
         elif record.type == "corpus_insert":
             _fold_insert(view, data)
+        elif record.type == "job_quarantined":
+            _fold_quarantine(view, data)
         elif record.type == "scenario_complete":
             _fold_complete(view, data)
         elif record.type == "compaction_snapshot":

@@ -64,6 +64,15 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
         "eta_s": None,
         "workers": {},
         "manifest": None,
+        "faults": {
+            "failures": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "quarantined": 0,
+            "quarantine_hits": 0,
+            "worker_restarts": 0,
+            "serial_fallbacks": 0,
+        },
     }
     if not records:
         return status
@@ -193,6 +202,17 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
     if snapshots:
         counters = (snapshots[-1].get("registry") or {}).get("counters", {})
         status["sim_events"] = int(counters.get("sim.events", 0))
+        # Fault-tolerance counters from the exec layer (see repro.exec):
+        # cumulative over the process, like every registry counter.
+        status["faults"] = {
+            "failures": int(counters.get("exec.failures", 0)),
+            "retries": int(counters.get("exec.retries", 0)),
+            "timeouts": int(counters.get("exec.timeouts", 0)),
+            "quarantined": int(counters.get("exec.quarantined", 0)),
+            "quarantine_hits": int(counters.get("exec.quarantine_hits", 0)),
+            "worker_restarts": int(counters.get("exec.worker_restarts", 0)),
+            "serial_fallbacks": int(counters.get("exec.serial_fallbacks", 0)),
+        }
 
     # Progress and ETA from generation completion across the matrix.
     total_generations = sum(
@@ -273,6 +293,18 @@ def format_status(status: Dict[str, Any]) -> str:
         f"({_fmt_rate(status.get('events_per_sec_recent'), ' ev/s')} recent), "
         f"behavior cells +{status['behavior_cells']}"
     )
+    faults = status.get("faults") or {}
+    if any(faults.values()):
+        # Only shown when something actually failed: a healthy campaign's
+        # status looks exactly as it did before fault tolerance existed.
+        lines.append(
+            f"faults: {faults.get('failures', 0)} failed "
+            f"({faults.get('timeouts', 0)} timeouts), "
+            f"{faults.get('retries', 0)} retried, "
+            f"{faults.get('quarantined', 0)} quarantined "
+            f"({faults.get('quarantine_hits', 0)} refusals), "
+            f"{faults.get('worker_restarts', 0)} workers restarted"
+        )
     scenarios = status.get("scenarios", {})
     if scenarios:
         lines.append("")

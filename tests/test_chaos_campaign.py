@@ -1,0 +1,186 @@
+"""End-to-end fault tolerance: campaigns under injected chaos.
+
+The scheme: a control campaign records exactly which trace fingerprints the
+GA evaluates first (seeding is deterministic, so a rerun of the same spec
+evaluates the same initial batch).  The chaos campaign then faults a known
+subset of those fingerprints and the tests assert the blast radius: the
+campaign completes, the faulted jobs are quarantined with provenance (into
+quarantine.json *and* the journal), and every healthy corpus entry's score
+is bit-identical to a fault-free re-evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.corpus import CorpusStore
+from repro.campaign.scheduler import CampaignRunner
+from repro.campaign.spec import CampaignSpec, GaBudget
+from repro.exec import (
+    ChaosPlan,
+    EvaluationJob,
+    ProcessPoolBackend,
+    QuarantineStore,
+    SerialBackend,
+    cca_identity,
+    chaos_injection,
+    clear_chaos,
+    evaluate_job,
+    failure_from_summary,
+)
+from repro.journal import CampaignJournal
+from repro.obs.status import collect_status, format_status
+from repro.scoring.objectives import make_score_function
+from repro.tcp import Reno
+from repro.tcp.cca import CCA_FACTORIES
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_chaos():
+    clear_chaos()
+    yield
+    clear_chaos()
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    params = dict(
+        name="chaos-e2e",
+        ccas=["reno"],
+        modes=["traffic"],
+        objectives=["throughput"],
+        budget=GaBudget(population_size=4, generations=2, duration=1.0, top_k=3),
+        seed=7,
+        backend="serial",
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+class RecordingBackend(SerialBackend):
+    """Serial backend that remembers each batch's trace fingerprints."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def _run_jobs(self, jobs):
+        self.batches.append([job.trace.fingerprint() for job in jobs])
+        return super()._run_jobs(jobs)
+
+
+def run_campaign(spec, corpus_dir, backend=None):
+    runner = CampaignRunner(
+        spec, CorpusStore(str(corpus_dir)), backend=backend, telemetry=True
+    )
+    return runner.run()
+
+
+def first_batch_fingerprints(tmp_path):
+    """The deterministic first evaluation batch of ``tiny_spec()``."""
+    recorder = RecordingBackend()
+    run_campaign(tiny_spec(), tmp_path / "control", backend=recorder)
+    assert recorder.batches, "control campaign evaluated nothing"
+    ordered = list(dict.fromkeys(recorder.batches[0]))
+    assert len(ordered) >= 2, "need at least two distinct fingerprints to fault"
+    return ordered
+
+
+def reevaluate_entry(entry):
+    """Fault-free re-evaluation of a corpus entry, discovery-conditions exact."""
+    job = EvaluationJob(
+        CCA_FACTORIES[entry.cca],
+        entry.sim_config().with_overrides(record_series=False),
+        entry.trace,
+        make_score_function(entry.objective, entry.mode),
+    )
+    score, _ = evaluate_job(job)
+    return score.total
+
+
+class TestChaosCampaignSerial:
+    def test_faulted_campaign_completes_quarantines_and_spares_healthy(self, tmp_path):
+        targets = first_batch_fingerprints(tmp_path)
+        faults = {targets[0]: "crash", targets[1]: "garbage"}
+        corpus_dir = tmp_path / "chaos"
+        with chaos_injection(ChaosPlan(faults=faults)):
+            result = run_campaign(tiny_spec(), corpus_dir)
+        # 1. The campaign completed despite the faults.
+        assert len(result.outcomes) == 1
+
+        # 2. Deterministic crashers were quarantined, with provenance.
+        store = QuarantineStore.for_corpus(corpus_dir)
+        assert len(store) == len(faults)
+        reno = cca_identity(Reno())
+        for fingerprint, kind in faults.items():
+            entry = store.find(fingerprint, reno)
+            assert entry is not None
+            assert entry["kind"] == kind
+            assert entry["attempts"] == 1
+            assert entry["scenario_id"] == "reno/traffic/throughput/base"
+
+        # 3. The journal carries the same entries (write-ahead), and replaying
+        #    them into a fresh store reproduces quarantine.json exactly.
+        view = CampaignJournal(CampaignJournal.corpus_path(str(corpus_dir))).replay()
+        assert {e["fingerprint"] for e in view.quarantined} == set(faults)
+        replayed = QuarantineStore(tmp_path / "replayed.json")
+        for event in view.quarantined:
+            replayed.apply_event(event)
+        assert replayed.entries() == store.entries()
+
+        # 4. Every healthy harvested entry re-evaluates bit-identically
+        #    fault-free: the chaos never corrupted a healthy result.
+        corpus = CorpusStore(str(corpus_dir))
+        checked = 0
+        for fingerprint in corpus.fingerprints():
+            entry = corpus.get(fingerprint)
+            if entry.origin != "fuzz" or fingerprint in faults:
+                continue
+            assert reevaluate_entry(entry) == entry.score
+            checked += 1
+        assert checked > 0
+
+        # 5. `repro-campaign status` surfaces the failure counters.
+        status = collect_status(corpus_dir)
+        assert status["faults"]["failures"] >= len(faults)
+        assert status["faults"]["quarantined"] >= len(faults)
+        assert "faults:" in format_status(status)
+
+    def test_resume_rebuilds_quarantine_from_journal(self, tmp_path):
+        # The crash window the WAL exists for: the journal append survived
+        # but quarantine.json was lost.  _prepare_resume folds the journaled
+        # events back into the store, rebuilding the file.
+        targets = first_batch_fingerprints(tmp_path)
+        faults = {targets[0]: "crash"}
+        corpus_dir = tmp_path / "chaos"
+        with chaos_injection(ChaosPlan(faults=faults)):
+            run_campaign(tiny_spec(), corpus_dir)
+        before = QuarantineStore.for_corpus(corpus_dir).entries()
+        (corpus_dir / "quarantine.json").unlink()
+        runner = CampaignRunner.resume(str(corpus_dir))
+        assert runner.quarantine.entries() == before
+
+
+class TestChaosCampaignProcess:
+    def test_hang_and_exit_under_process_backend(self, tmp_path):
+        targets = first_batch_fingerprints(tmp_path)
+        faults = {targets[0]: "hang", targets[1]: "exit"}
+        corpus_dir = tmp_path / "chaos-proc"
+        spec = tiny_spec(backend="process", workers=2, job_timeout=1.0, max_retries=1)
+        with chaos_injection(ChaosPlan(faults=faults, hang_s=300.0)):
+            result = run_campaign(spec, corpus_dir)
+        assert len(result.outcomes) == 1
+        store = QuarantineStore.for_corpus(corpus_dir)
+        reno = cca_identity(Reno())
+        hung = store.find(targets[0], reno)
+        assert hung is not None and hung["kind"] == "timeout"
+        died = store.find(targets[1], reno)
+        assert died is not None and died["kind"] == "worker-death"
+        assert died["attempts"] == 2  # initial try + max_retries
+        # Healthy harvested entries still re-evaluate bit-identically.
+        corpus = CorpusStore(str(corpus_dir))
+        for fingerprint in corpus.fingerprints():
+            entry = corpus.get(fingerprint)
+            if entry.origin == "fuzz" and fingerprint not in faults:
+                assert reevaluate_entry(entry) == entry.score

@@ -19,6 +19,8 @@ EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
 #: Every example with the arguments that keep its runtime test-friendly.
 EXAMPLES = {
     "quickstart.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
+    "chaos_campaign.py": ["--generations", "2", "--population", "4", "--duration", "1.0",
+                          "--job-timeout", "1.5"],
     "compare_ccas_under_attack.py": ["--duration", "1.5"],
     "bbr_stall_investigation.py": ["--duration", "1.5"],
     "link_fuzzing_with_realism.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
