@@ -7,7 +7,7 @@ as ASCII tables and line charts so examples and benchmarks can show the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
@@ -267,6 +267,190 @@ def format_coverage_gaps(archive) -> str:
             + (", ".join(missing_plane[:20]) + (" ..." if len(missing_plane) > 20 else ""))
         )
     return "\n".join(lines)
+
+
+def shape_coverage(cell_payloads: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """JSON-able heatmap + gap analysis from serialized cell payloads.
+
+    The payloads are :meth:`~repro.coverage.archive.CellElite.to_dict`
+    dicts — the shape both ``behavior_map.json`` and journal
+    ``behavior_delta`` records carry — so one shaping function serves the
+    on-disk map, the live journal overlay, and any merge of the two.  It is
+    the JSON twin of :func:`format_coverage_map`/:func:`format_coverage_gaps`:
+    per CCA, the goodput x stall occupancy plane (rows goodput bucket 0..N,
+    columns the stall classes) plus the empty plane cells, and the
+    top-scoring elites overall.
+    """
+    from ..coverage.signature import (
+        COUNT_BUCKET_MAX,
+        GOODPUT_BUCKETS,
+        STALL_CLASSES,
+    )
+
+    by_cca: Dict[str, List[Dict[str, Any]]] = {}
+    for cell in sorted(cell_payloads):
+        payload = cell_payloads[cell]
+        signature = payload.get("signature") or {}
+        if not isinstance(signature, dict):
+            continue
+        by_cca.setdefault(str(signature.get("cca", "")), []).append(payload)
+
+    heatmap: Dict[str, Any] = {}
+    gaps: Dict[str, Any] = {}
+    by_stall: Dict[str, int] = {}
+    for cca, payloads in sorted(by_cca.items()):
+        plane: Dict[Tuple[int, str], int] = {}
+        goodput_seen: set = set()
+        stall_seen: set = set()
+        loss_seen: set = set()
+        rto_seen: set = set()
+        for payload in payloads:
+            signature = payload.get("signature") or {}
+            try:
+                bucket = int(signature.get("goodput_bucket", 0))
+            except (TypeError, ValueError):
+                bucket = 0
+            stall = str(signature.get("stall_class", ""))
+            plane[(bucket, stall)] = plane.get((bucket, stall), 0) + 1
+            goodput_seen.add(bucket)
+            stall_seen.add(stall)
+            loss_seen.add(signature.get("loss_bucket"))
+            rto_seen.add(signature.get("rto_bucket"))
+            by_stall[stall] = by_stall.get(stall, 0) + 1
+        heatmap[cca] = {
+            "rows": [f"g{bucket}" for bucket in range(GOODPUT_BUCKETS + 1)],
+            "cols": list(STALL_CLASSES),
+            "counts": [
+                [plane.get((bucket, name), 0) for name in STALL_CLASSES]
+                for bucket in range(GOODPUT_BUCKETS + 1)
+            ],
+        }
+        empty = [
+            f"g{bucket}/{name}"
+            for bucket in range(GOODPUT_BUCKETS + 1)
+            for name in STALL_CLASSES
+            if (bucket, name) not in plane
+        ]
+        gaps[cca] = {
+            "goodput_buckets_seen": len(goodput_seen),
+            "goodput_buckets_total": GOODPUT_BUCKETS + 1,
+            "stall_classes_seen": len(stall_seen),
+            "stall_classes_total": len(STALL_CLASSES),
+            "loss_buckets_seen": len(loss_seen),
+            "loss_buckets_total": COUNT_BUCKET_MAX + 1,
+            "rto_buckets_seen": len(rto_seen),
+            "rto_buckets_total": COUNT_BUCKET_MAX + 1,
+            "empty_plane_cells": empty,
+        }
+
+    scored = [
+        payload
+        for payload in cell_payloads.values()
+        if payload.get("score") is not None
+    ]
+    scored.sort(key=lambda p: (-float(p["score"]), str(p.get("cell", ""))))
+    top = [
+        {
+            "cell": payload.get("cell", ""),
+            "score": payload.get("score"),
+            "visits": payload.get("visits", 0),
+            "improvements": payload.get("improvements", 0),
+            "trace_fingerprint": payload.get("trace_fingerprint", ""),
+        }
+        for payload in scored[:20]
+    ]
+    return {
+        "cells": len(cell_payloads),
+        "by_cca": {cca: len(payloads) for cca, payloads in sorted(by_cca.items())},
+        "by_stall": dict(sorted(by_stall.items())),
+        "heatmap": heatmap,
+        "gaps": gaps,
+        "top": top,
+    }
+
+
+def shape_rankings(
+    outcome_rows: Sequence[Dict[str, Any]],
+    index_rows: Dict[str, Dict[str, Any]],
+    quarantine_counts: Optional[Dict[str, int]] = None,
+    triage_rows: Optional[Sequence[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Per-CCA vulnerability table from scenario outcomes + corpus evidence.
+
+    ``outcome_rows`` come from :meth:`~repro.journal.view.JournalView.outcome_rows`,
+    ``index_rows`` from the corpus index, ``triage_rows`` are
+    differential-triage verdicts (``{"fingerprint", "classification",
+    "most_vulnerable", "vulnerable_ccas"}``).  A CCA's headline number is
+    the worst (highest) best-fitness any completed scenario reached against
+    it — fitness measures attack damage, so higher means more vulnerable —
+    alongside how much corpus evidence backs that up.
+    """
+    per_cca: Dict[str, Dict[str, Any]] = {}
+
+    def row_for(cca: str) -> Dict[str, Any]:
+        return per_cca.setdefault(
+            cca,
+            {
+                "cca": cca,
+                "scenarios_completed": 0,
+                "worst_fitness": None,
+                "mean_best_fitness": None,
+                "evaluations": 0,
+                "corpus_entries": 0,
+                "behavior_cells": 0,
+                "quarantined": 0,
+                "triage_most_vulnerable": 0,
+                "triage_vulnerable": 0,
+            },
+        )
+
+    fitness_sums: Dict[str, List[float]] = {}
+    for outcome in outcome_rows:
+        cca = str(outcome.get("cca") or "")
+        row = row_for(cca)
+        row["scenarios_completed"] += 1
+        row["evaluations"] += int(outcome.get("evaluations") or 0)
+        row["behavior_cells"] += int(outcome.get("behavior_cells") or 0)
+        fitness = outcome.get("best_fitness")
+        if isinstance(fitness, (int, float)):
+            fitness_sums.setdefault(cca, []).append(float(fitness))
+            if row["worst_fitness"] is None or fitness > row["worst_fitness"]:
+                row["worst_fitness"] = float(fitness)
+    for cca, values in fitness_sums.items():
+        per_cca[cca]["mean_best_fitness"] = sum(values) / len(values)
+
+    for summary in index_rows.values():
+        cca = str(summary.get("cca") or "")
+        if cca:
+            row_for(cca)["corpus_entries"] += 1
+
+    for cca, count in (quarantine_counts or {}).items():
+        if cca:
+            row_for(str(cca))["quarantined"] += int(count)
+
+    classifications: Dict[str, int] = {}
+    for verdict in triage_rows or []:
+        classification = str(verdict.get("classification") or "")
+        if classification:
+            classifications[classification] = classifications.get(classification, 0) + 1
+        most = str(verdict.get("most_vulnerable") or "")
+        if most:
+            row_for(most)["triage_most_vulnerable"] += 1
+        for cca in verdict.get("vulnerable_ccas") or []:
+            row_for(str(cca))["triage_vulnerable"] += 1
+
+    rows = sorted(
+        per_cca.values(),
+        key=lambda row: (
+            -(row["worst_fitness"] if row["worst_fitness"] is not None else float("-inf")),
+            row["cca"],
+        ),
+    )
+    return {
+        "rows": rows,
+        "scenarios_completed": sum(r["scenarios_completed"] for r in rows),
+        "triage_classes": dict(sorted(classifications.items())),
+    }
 
 
 def format_generation_progress(generations: Sequence[object]) -> str:

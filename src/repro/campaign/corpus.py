@@ -485,3 +485,87 @@ class CorpusStore:
             "behavior_annotated": annotated,
             "behavior_cells": len(cells),
         }
+
+
+# ---------------------------------------------------------------------- #
+# Read-only access (dashboard / query layer)
+# ---------------------------------------------------------------------- #
+#
+# The dashboard must never construct a CorpusStore against a live campaign's
+# directory: the constructor creates entries/, sweeps orphan *.tmp files
+# (which would race the owning campaign's in-flight atomic writes) and
+# writes index.json when missing.  These helpers only ever open files for
+# reading, and degrade to empty results instead of raising — a query
+# endpoint answering mid-write should render what it can.
+
+
+def _read_json_file(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def read_corpus_index(corpus_dir: str) -> Dict[str, Dict[str, Any]]:
+    """``index.json`` rows (fingerprint -> summary) without a CorpusStore.
+
+    Missing, torn or schema-mismatched indexes all yield ``{}`` — atomic
+    writes mean a *torn* index can only be seen through a non-atomic copy of
+    the directory, but the dashboard should answer sanely against that too.
+    """
+    payload = _read_json_file(os.path.join(str(corpus_dir), "index.json"))
+    if payload is None or payload.get("schema", CORPUS_SCHEMA) != CORPUS_SCHEMA:
+        return {}
+    entries = payload.get("entries")
+    return dict(entries) if isinstance(entries, dict) else {}
+
+
+def _safe_fingerprint(fingerprint: str) -> bool:
+    """Reject path-traversal attempts in client-supplied fingerprints."""
+    return bool(fingerprint) and all(
+        ch.isalnum() or ch in "-_" for ch in fingerprint
+    )
+
+
+def read_corpus_entry(corpus_dir: str, fingerprint: str) -> Optional[Dict[str, Any]]:
+    """One entry's full JSON payload (trace included), or ``None``."""
+    if not _safe_fingerprint(fingerprint):
+        return None
+    return _read_json_file(
+        os.path.join(str(corpus_dir), "entries", f"{fingerprint}.json")
+    )
+
+
+def load_corpus_entry(corpus_dir: str, fingerprint: str) -> Optional[CorpusEntry]:
+    """Like :func:`read_corpus_entry` but deserialized (for replay)."""
+    payload = read_corpus_entry(corpus_dir, fingerprint)
+    if payload is None:
+        return None
+    try:
+        return CorpusEntry.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def provenance_chain(
+    index: Dict[str, Dict[str, Any]], fingerprint: str
+) -> List[Dict[str, Any]]:
+    """Walk ``derived_from`` links back to the root, index rows only.
+
+    Returns one row per hop starting at ``fingerprint`` itself; a dangling
+    or cyclic link ends the chain rather than erroring (triage may have
+    minimized from an entry that was since re-imported elsewhere).
+    """
+    chain: List[Dict[str, Any]] = []
+    seen: set = set()
+    current = fingerprint
+    while current and current not in seen:
+        seen.add(current)
+        row = index.get(current)
+        if row is None:
+            break
+        chain.append({"fingerprint": current, **row})
+        current = row.get("derived_from") or ""
+    return chain

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six entry points are installed with the package:
+Seven entry points are installed with the package:
 
 * ``repro-fuzz`` — run the genetic search against a CCA and save the best
   traces found.
@@ -13,6 +13,8 @@ Six entry points are installed with the package:
   compare one attack trace (a file, a builtin attack, or a corpus entry).
 * ``repro-coverage`` — inspect behavior-coverage archives
   (``map``/``diff``/``gaps``).
+* ``repro-serve`` — read-only HTTP dashboard and query/replay API over a
+  corpus directory (also reachable as ``repro-campaign serve``).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from .analysis.metrics import compute_metrics
@@ -61,6 +64,7 @@ from .obs import (
     METRICS_FILENAME,
     CampaignTelemetry,
     Console,
+    StatusWatcher,
     add_console_flags,
     collect_status,
     format_status,
@@ -722,6 +726,100 @@ def _rebuild_corpus_coverage(corpus_dir: str, console: Console) -> BehaviorArchi
 
 
 # --------------------------------------------------------------------------- #
+# repro-serve
+# --------------------------------------------------------------------------- #
+
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``repro-serve`` and ``repro-campaign serve``."""
+    parser.add_argument(
+        "corpus", type=str,
+        help="corpus directory to mount (read-only; safe on a live campaign)",
+    )
+    parser.add_argument("--host", type=str, default="127.0.0.1",
+                        help="interface to bind")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="port to bind (0 = pick a free port)")
+    parser.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="serial",
+        help="evaluation backend for the replay endpoint",
+    )
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for thread/process replay backends")
+    parser.add_argument(
+        "--http-log", action="store_true",
+        help="log each HTTP request to stderr",
+    )
+
+
+def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
+               console: Console) -> int:
+    """Start a dashboard server from parsed serve options and block."""
+    from .serve import DashboardServer
+
+    if not os.path.isdir(args.corpus):
+        parser.error(f"no corpus directory at {args.corpus}")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    backend = create_backend(args.backend, args.workers)
+    server = DashboardServer(
+        args.corpus,
+        host=args.host,
+        port=args.port,
+        backend=backend,
+        verbose=args.http_log,
+    )
+    console.info(f"serving {args.corpus} at {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        console.info("\nstopping")
+    finally:
+        server.stop()
+    return 0
+
+
+def _watch_status(args: argparse.Namespace, console: Console) -> int:
+    """``repro-campaign status --watch N``: poll with incremental reads.
+
+    Each tick tails only the bytes appended to ``metrics.jsonl`` since the
+    last one (the same incremental reader the dashboard's ``/api/stream``
+    endpoint uses), so watching a long campaign stays O(new records) per
+    tick instead of re-reading the whole stream.
+    """
+    watcher = StatusWatcher(args.corpus)
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    try:
+        while True:
+            status = watcher.poll()
+            if args.json:
+                console.result(status_json(status))
+            else:
+                console.result(clear + format_status(status))
+            if status.get("state") == "complete":
+                return 0
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Read-only HTTP dashboard and query/replay API over a campaign "
+            "corpus directory (strictly observational: attaching to a live "
+            "campaign does not perturb its artifacts)."
+        ),
+    )
+    _add_serve_options(parser)
+    add_console_flags(parser)
+    args = parser.parse_args(argv)
+    return _run_serve(args, parser, Console.from_args(args))
+
+
+# --------------------------------------------------------------------------- #
 # repro-campaign
 # --------------------------------------------------------------------------- #
 
@@ -798,6 +896,18 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         "--prometheus", action="store_true",
         help="emit the latest metrics snapshot in Prometheus text format",
     )
+    status_parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS using incremental telemetry reads "
+             "(tails metrics.jsonl instead of re-reading it; Ctrl-C to stop)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the read-only HTTP dashboard and query/replay API over a "
+             "corpus directory",
+    )
+    _add_serve_options(serve_parser)
 
     replay_parser = subparsers.add_parser(
         "replay", help="re-simulate the whole corpus against one CCA and report score deltas"
@@ -886,7 +996,8 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     )
 
     for subparser in (run_parser, status_parser, replay_parser, report_parser,
-                      triage_parser, workers_parser, compact_parser):
+                      triage_parser, workers_parser, compact_parser,
+                      serve_parser):
         add_console_flags(subparser)
 
     args = parser.parse_args(argv)
@@ -1014,6 +1125,9 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "serve":
+        return _run_serve(args, parser, console)
+
     if args.command == "status":
         metrics_path = os.path.join(args.corpus, METRICS_FILENAME)
         if not os.path.exists(metrics_path):
@@ -1021,6 +1135,12 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 f"no campaign telemetry at {metrics_path} "
                 "(run the campaign without --no-telemetry)"
             )
+        if args.watch is not None:
+            if args.watch <= 0:
+                parser.error("--watch must be a positive number of seconds")
+            if args.prometheus:
+                parser.error("--watch cannot be combined with --prometheus")
+            return _watch_status(args, console)
         if args.prometheus:
             snapshot = None
             for record in read_metrics(metrics_path):

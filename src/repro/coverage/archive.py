@@ -397,6 +397,34 @@ class BehaviorArchive:
         return os.path.join(str(corpus_dir), ARCHIVE_FILENAME)
 
 
+def read_archive_cells(path: str) -> Dict[str, Dict[str, Any]]:
+    """Cell payloads from a ``behavior_map.json``, strictly read-only.
+
+    Unlike :meth:`BehaviorArchive.load` this never raises: a missing, torn
+    or schema-mismatched file yields ``{}`` (the dashboard overlays live
+    journal deltas on top, so an absent on-disk map just means the campaign
+    has not finalised one yet).  Payloads are returned as plain dicts —
+    exactly what :meth:`CellElite.to_dict` wrote and what journal
+    ``behavior_delta`` records carry — so callers can merge the two sources
+    without a strict deserialization step in between.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("schema", ARCHIVE_SCHEMA) != ARCHIVE_SCHEMA:
+        return {}
+    cells = payload.get("cells")
+    if not isinstance(cells, dict):
+        return {}
+    return {
+        cell: cell_payload
+        for cell, cell_payload in cells.items()
+        if isinstance(cell_payload, dict)
+    }
+
+
 def diff_archives(a: BehaviorArchive, b: BehaviorArchive) -> Dict[str, Any]:
     """Cell-level comparison of two archives (for ``repro-coverage diff``)."""
     cells_a = set(a.cell_keys())

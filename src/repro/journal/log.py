@@ -488,6 +488,49 @@ class CampaignJournal:
 
 
 # ---------------------------------------------------------------------- #
+# Read-only access (dashboard / query layer)
+# ---------------------------------------------------------------------- #
+
+
+def read_journal_view(path: str) -> JournalView:
+    """Replay a journal file without ever touching it.
+
+    The dashboard's query layer must not take the writers' path: a
+    :class:`CampaignJournal` repairs torn tails, creates lock sidecars and
+    fsyncs directories before its first append, any of which would make an
+    attached observer perturb a live campaign.  This helper only ever opens
+    the file for reading.  It also degrades instead of raising: interior
+    corruption (a hard error for a writer, which must not append after lost
+    records) falls back to a line-by-line salvage parse here, because a
+    query endpoint answering against a half-copied file should render what
+    it can rather than 500.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError:
+        return replay_records([])
+    try:
+        records, _, torn = _scan_bytes(raw)
+    except JournalCorruption:
+        records = []
+        torn = 0
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                records.append(JournalRecord.from_line(line.decode("utf-8")))
+            except (JournalCorruption, UnicodeDecodeError):
+                torn += 1
+    return replay_records(records, torn_records=torn)
+
+
+def read_corpus_journal_view(corpus_dir: str) -> JournalView:
+    """Read-only replay of a corpus directory's journal."""
+    return read_journal_view(CampaignJournal.corpus_path(corpus_dir))
+
+
+# ---------------------------------------------------------------------- #
 # Merge
 # ---------------------------------------------------------------------- #
 

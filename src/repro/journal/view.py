@@ -166,6 +166,58 @@ class JournalView:
         return lease_epoch_of(self.leases.get(scenario_id)) + 1
 
     # ------------------------------------------------------------------ #
+    # Query folds (dashboard / reporting)
+    # ------------------------------------------------------------------ #
+
+    def outcome_rows(self) -> List[Dict[str, Any]]:
+        """Per-completed-scenario rows for ranking tables.
+
+        Splits the scenario id back into its ``cca/mode/objective/condition``
+        components (missing components degrade to ``""`` so rows from older
+        or hand-built journals still render) and annotates each with the
+        number of distinct corpus fingerprints the scenario inserted.
+        """
+        rows: List[Dict[str, Any]] = []
+        for scenario_id in sorted(self.completed):
+            record = self.completed[scenario_id]
+            # scenario_complete data nests the ScenarioOutcome fields under
+            # "outcome"; hand-built or legacy records may carry them flat.
+            outcome = record.get("outcome")
+            payload = outcome if isinstance(outcome, dict) else record
+            parts = str(scenario_id).split("/")
+            rows.append(
+                {
+                    "scenario_id": scenario_id,
+                    "cca": parts[0] if len(parts) > 0 else "",
+                    "mode": parts[1] if len(parts) > 1 else "",
+                    "objective": parts[2] if len(parts) > 2 else "",
+                    "condition": parts[3] if len(parts) > 3 else "",
+                    "best_fitness": payload.get("best_fitness"),
+                    "best_fingerprint": payload.get("best_fingerprint"),
+                    "evaluations": payload.get("evaluations", 0),
+                    "cache_hits": payload.get("cache_hits", 0),
+                    "converged_generation": payload.get("converged_generation"),
+                    "new_corpus_entries": payload.get("new_corpus_entries", 0),
+                    "behavior_cells": payload.get("behavior_cells", 0),
+                    "corpus_inserts": len(
+                        self.inserts_by_scenario.get(scenario_id, {})
+                    ),
+                }
+            )
+        return rows
+
+    def quarantine_counts(self) -> Dict[str, int]:
+        """Distinct quarantined (fingerprint, cca) pairs, keyed by cca."""
+        pairs = {
+            (entry.get("fingerprint"), entry.get("cca"))
+            for entry in self.quarantined
+        }
+        counts: Dict[str, int] = {}
+        for _, cca in pairs:
+            counts[str(cca)] = counts.get(str(cca), 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
     # Compaction
     # ------------------------------------------------------------------ #
 

@@ -37,15 +37,24 @@ from .metrics import (
 )
 from .sinks import (
     METRICS_FILENAME,
+    IncrementalMetricsReader,
     MetricsJsonlSink,
     PROMETHEUS_FILENAME,
     iter_metrics_records,
     prometheus_text,
     read_metrics,
+    tail_metrics_records,
     write_prometheus,
 )
 from .spans import PhaseTracer, Span
-from .status import collect_status, format_status, status_json
+from .status import (
+    StatusWatcher,
+    collect_status,
+    count_quarantine_entries,
+    fold_status,
+    format_status,
+    status_json,
+)
 from .telemetry import CampaignTelemetry
 
 __all__ = [
@@ -67,15 +76,20 @@ __all__ = [
     "reset_registry",
     "set_enabled",
     "METRICS_FILENAME",
+    "IncrementalMetricsReader",
     "MetricsJsonlSink",
     "PROMETHEUS_FILENAME",
     "iter_metrics_records",
     "prometheus_text",
     "read_metrics",
+    "tail_metrics_records",
     "write_prometheus",
     "PhaseTracer",
     "Span",
+    "StatusWatcher",
     "collect_status",
+    "count_quarantine_entries",
+    "fold_status",
     "format_status",
     "status_json",
     "CampaignTelemetry",

@@ -22,7 +22,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from .metrics import METRICS_SCHEMA, MetricsRegistry, Snapshot
 
@@ -119,6 +119,77 @@ def iter_metrics_records(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
 
 def read_metrics(path: Union[str, Path]) -> List[Dict[str, Any]]:
     return list(iter_metrics_records(path))
+
+
+def tail_metrics_records(
+    path: Union[str, Path], offset: int = 0
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Read records appended since byte ``offset``; returns ``(records, new_offset)``.
+
+    The incremental half of :func:`iter_metrics_records`, shared by
+    ``repro-campaign status --watch`` and the dashboard's ``/api/stream``
+    endpoint: callers remember the returned offset between polls instead of
+    re-reading the whole stream.  Only byte-complete (newline-terminated)
+    lines are consumed — a torn tail the writer is mid-way through stays
+    unread and is picked up whole on a later poll, so an incremental reader
+    can never observe partial JSON.  A file that shrank (rotation,
+    truncation) resets the reader to the start; a missing file yields
+    ``([], 0)`` so the next poll retries from scratch.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return [], 0
+    if size < offset:
+        offset = 0                         # stream was rotated or truncated
+    if size == offset:
+        return [], offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        raw = handle.read(size - offset)
+    end = raw.rfind(b"\n")
+    if end < 0:
+        return [], offset                  # only a torn tail so far
+    consumed = raw[: end + 1]
+    records: List[Dict[str, Any]] = []
+    for line in consumed.split(b"\n"):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue                       # advisory stream: skip, don't raise
+        if isinstance(record, dict) and "type" in record:
+            records.append(record)
+    return records, offset + len(consumed)
+
+
+class IncrementalMetricsReader:
+    """Stateful wrapper around :func:`tail_metrics_records`.
+
+    Remembers the byte offset between :meth:`poll` calls and reports (via
+    the return value's second element) when the underlying stream was
+    replaced so accumulating callers know to discard what they folded so
+    far.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.offset = 0
+
+    def poll(self) -> Tuple[List[Dict[str, Any]], bool]:
+        """Return ``(new_records, reset)`` since the previous poll."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        reset = size < self.offset
+        if reset:
+            self.offset = 0
+        records, self.offset = tail_metrics_records(self.path, self.offset)
+        return records, reset
 
 
 # ---------------------------------------------------------------------- #

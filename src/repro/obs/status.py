@@ -15,7 +15,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from .manifest import read_manifest
-from .sinks import METRICS_FILENAME, iter_metrics_records
+from .sinks import METRICS_FILENAME, IncrementalMetricsReader, iter_metrics_records
+
+#: Mirrors :data:`repro.exec.quarantine.QUARANTINE_FILENAME` (kept as a
+#: literal here so the observability layer never imports the exec package).
+QUARANTINE_FILENAME = "quarantine.json"
 
 
 def _rate(delta_value: float, delta_t: float) -> Optional[float]:
@@ -24,8 +28,56 @@ def _rate(delta_value: float, delta_t: float) -> Optional[float]:
     return delta_value / delta_t
 
 
+def count_quarantine_entries(corpus_dir: Union[str, Path]) -> int:
+    """Entries in the corpus's ``quarantine.json`` (0 when absent/torn).
+
+    A strictly read-only peek: unlike
+    :class:`~repro.exec.quarantine.QuarantineStore` this never creates,
+    sweeps or rewrites anything, so a status poll cannot perturb a running
+    campaign's quarantine state.
+    """
+    try:
+        with open(Path(corpus_dir) / QUARANTINE_FILENAME, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return 0
+    entries = payload.get("entries") if isinstance(payload, dict) else None
+    return len(entries) if isinstance(entries, list) else 0
+
+
+def _attach_artifacts(status: Dict[str, Any], corpus_dir: Path) -> Dict[str, Any]:
+    """The one shared shaping step for on-disk run artifacts.
+
+    Both the CLI renderer and the dashboard's ``/api/status`` consume the
+    dict this produces, so manifest presence, the result digest and the
+    quarantine count can never diverge between the two front ends.
+    """
+    manifest = read_manifest(corpus_dir)
+    status["manifest"] = manifest
+    status["manifest_present"] = manifest is not None
+    status["result_digest"] = ((manifest or {}).get("result") or {}).get(
+        "deterministic_digest"
+    )
+    status["quarantine_entries"] = count_quarantine_entries(corpus_dir)
+    return status
+
+
 def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
     """Fold the corpus dir's telemetry stream into one status dict.
+
+    Reads the whole stream; use :class:`StatusWatcher` to poll a live
+    campaign without re-reading it every time.
+    """
+    corpus_dir = Path(corpus_dir)
+    return fold_status(
+        list(iter_metrics_records(corpus_dir / METRICS_FILENAME)), corpus_dir
+    )
+
+
+def fold_status(
+    records: List[Dict[str, Any]], corpus_dir: Union[str, Path]
+) -> Dict[str, Any]:
+    """Fold already-read telemetry records into one status dict.
 
     Only records from the *latest* ``campaign_start``/``campaign_resume``
     onwards count (the stream accumulates across campaigns like the corpus
@@ -33,7 +85,6 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
     every field degrades to ``None``/empty rather than raising.
     """
     corpus_dir = Path(corpus_dir)
-    records = list(iter_metrics_records(corpus_dir / METRICS_FILENAME))
     # Slice to the current run.
     start_index = 0
     for index, record in enumerate(records):
@@ -64,6 +115,9 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
         "eta_s": None,
         "workers": {},
         "manifest": None,
+        "manifest_present": False,
+        "result_digest": None,
+        "quarantine_entries": 0,
         "faults": {
             "failures": 0,
             "retries": 0,
@@ -75,7 +129,7 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
         },
     }
     if not records:
-        return status
+        return _attach_artifacts(status, corpus_dir)
 
     generations_total: Dict[str, int] = {}
     scenarios: Dict[str, Dict[str, Any]] = {}
@@ -239,8 +293,39 @@ def collect_status(corpus_dir: Union[str, Path]) -> Dict[str, Any]:
         status["eta_s"] = 0.0
 
     status["workers"] = workers
-    status["manifest"] = read_manifest(corpus_dir)
-    return status
+    return _attach_artifacts(status, corpus_dir)
+
+
+class StatusWatcher:
+    """Poll a live campaign's status with incremental stream reads.
+
+    Used by both ``repro-campaign status --watch`` and the dashboard's
+    ``/api/status`` endpoint: each :meth:`poll` reads only the bytes
+    appended to ``metrics.jsonl`` since the previous poll (via
+    :class:`~repro.obs.sinks.IncrementalMetricsReader`), accumulates the
+    records, and refolds them with :func:`fold_status`.  Records before the
+    latest ``campaign_start``/``campaign_resume`` are dropped as they are
+    superseded, so memory stays bounded by the current run.
+    """
+
+    def __init__(self, corpus_dir: Union[str, Path]) -> None:
+        self.corpus_dir = Path(corpus_dir)
+        self._reader = IncrementalMetricsReader(self.corpus_dir / METRICS_FILENAME)
+        self._records: List[Dict[str, Any]] = []
+
+    def poll(self) -> Dict[str, Any]:
+        """Return the current status dict (same shape as :func:`collect_status`)."""
+        new_records, reset = self._reader.poll()
+        if reset:
+            self._records = []
+        self._records.extend(new_records)
+        start_index = 0
+        for index, record in enumerate(self._records):
+            if record["type"] in ("campaign_start", "campaign_resume"):
+                start_index = index
+        if start_index:
+            del self._records[:start_index]
+        return fold_status(list(self._records), self.corpus_dir)
 
 
 def _fmt_rate(value: Optional[float], unit: str = "/s") -> str:
@@ -304,6 +389,13 @@ def format_status(status: Dict[str, Any]) -> str:
             f"{faults.get('quarantined', 0)} quarantined "
             f"({faults.get('quarantine_hits', 0)} refusals), "
             f"{faults.get('worker_restarts', 0)} workers restarted"
+        )
+    if status.get("quarantine_entries"):
+        lines.append(f"quarantine: {status['quarantine_entries']} entries on disk")
+    if status.get("manifest_present"):
+        digest = status.get("result_digest")
+        lines.append(
+            f"manifest: present, result digest {digest if digest else 'n/a'}"
         )
     scenarios = status.get("scenarios", {})
     if scenarios:

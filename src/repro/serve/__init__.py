@@ -1,0 +1,25 @@
+"""Read-only HTTP dashboard and query/replay API over a campaign corpus.
+
+The ROADMAP's "live campaign dashboard" item: mount a corpus directory and
+expose everything a campaign writes — telemetry stream, journal, corpus
+index, behavior map, run manifest — as JSON endpoints plus a single-file
+HTML dashboard, with a memoized replay endpoint that re-simulates stored
+attacks on demand.
+
+The subsystem's one hard rule is that it is **strictly observational**:
+attaching a dashboard to a running campaign (serial or fleet) must leave
+digests, corpus fingerprints and behavior maps bit-identical to an
+unattached run.  Concretely, nothing in this package ever constructs the
+writer-side objects (``CorpusStore`` sweeps temp files, ``CampaignJournal``
+repairs torn tails — both would perturb a live directory); every read goes
+through the read-only helpers (:func:`repro.campaign.corpus.read_corpus_index`,
+:func:`repro.journal.log.read_journal_view`, ...) and every endpoint
+degrades to well-formed JSON against torn, mid-compaction or half-written
+state instead of erroring.
+"""
+
+from .query import DashboardQuery
+from .replay import ReplayService
+from .server import DEFAULT_HOST, DashboardServer
+
+__all__ = ["DashboardQuery", "ReplayService", "DashboardServer", "DEFAULT_HOST"]

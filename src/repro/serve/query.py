@@ -1,0 +1,194 @@
+"""Read-only assembly of dashboard payloads from campaign artifacts.
+
+One :class:`DashboardQuery` per mounted corpus directory.  Every method
+returns a JSON-able dict and never raises on missing, torn or mid-write
+artifacts — the server layer turns whatever comes back into a complete
+response, so a poll can race the owning campaign's writes at any point and
+still render.  All reads go through the strictly read-only module helpers;
+see the package docstring for why the writer-side classes are off limits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..analysis.reporting import shape_coverage, shape_rankings
+from ..campaign.corpus import (
+    provenance_chain,
+    read_corpus_entry,
+    read_corpus_index,
+)
+from ..coverage.archive import BehaviorArchive, read_archive_cells
+from ..journal.log import read_corpus_journal_view
+from ..obs.sinks import (
+    METRICS_FILENAME,
+    PROMETHEUS_FILENAME,
+    prometheus_text,
+    tail_metrics_records,
+)
+from ..obs.status import StatusWatcher
+
+#: Longest long-poll wait the stream endpoint will honour (seconds).
+MAX_STREAM_WAIT_S = 25.0
+
+#: Poll interval while a long-poll waits for fresh records.
+STREAM_POLL_INTERVAL_S = 0.2
+
+
+class DashboardQuery:
+    """Assembles every non-replay endpoint's payload for one corpus dir."""
+
+    def __init__(self, corpus_dir: str) -> None:
+        self.corpus_dir = str(corpus_dir)
+        self.metrics_path = Path(self.corpus_dir) / METRICS_FILENAME
+        # The watcher accumulates stream records between polls; requests
+        # arrive from several server threads, so folds are serialised.
+        self._watcher = StatusWatcher(self.corpus_dir)
+        self._watcher_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # /api/status
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> Dict[str, Any]:
+        """Live campaign status (same shaping the CLI renders)."""
+        with self._watcher_lock:
+            return self._watcher.poll()
+
+    # ------------------------------------------------------------------ #
+    # /api/stream
+    # ------------------------------------------------------------------ #
+
+    def stream(
+        self, offset: int = 0, wait: float = 0.0
+    ) -> Dict[str, Any]:
+        """Telemetry records appended past byte ``offset`` (long-poll).
+
+        Stateless: the client carries the returned ``offset`` into its next
+        request, so any number of dashboards can tail one stream without
+        server-side subscriptions.  With ``wait > 0`` the call blocks up to
+        that many seconds (capped) for fresh records before returning an
+        empty batch.  Only newline-complete lines are consumed, so a
+        response can never contain a partial record even while the campaign
+        is mid-append.
+        """
+        try:
+            offset = max(0, int(offset))
+        except (TypeError, ValueError):
+            offset = 0
+        deadline = time.monotonic() + min(max(0.0, float(wait)), MAX_STREAM_WAIT_S)
+        while True:
+            records, new_offset = tail_metrics_records(self.metrics_path, offset)
+            if records or new_offset < offset or time.monotonic() >= deadline:
+                return {
+                    "records": records,
+                    "offset": new_offset,
+                    "reset": new_offset < offset,
+                }
+            offset = new_offset
+            time.sleep(STREAM_POLL_INTERVAL_S)
+
+    # ------------------------------------------------------------------ #
+    # /api/corpus
+    # ------------------------------------------------------------------ #
+
+    def corpus_index(self) -> Dict[str, Any]:
+        """The corpus index as a sorted row list (no trace files read)."""
+        index = read_corpus_index(self.corpus_dir)
+        rows = [
+            {"fingerprint": fingerprint, **row}
+            for fingerprint, row in sorted(index.items())
+        ]
+        return {"corpus_dir": self.corpus_dir, "entries": len(rows), "rows": rows}
+
+    def corpus_entry(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """One entry's full payload plus its provenance chain, or ``None``."""
+        payload = read_corpus_entry(self.corpus_dir, fingerprint)
+        if payload is None:
+            return None
+        index = read_corpus_index(self.corpus_dir)
+        payload = dict(payload)
+        payload["provenance"] = provenance_chain(index, fingerprint)
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # /api/coverage
+    # ------------------------------------------------------------------ #
+
+    def coverage(self) -> Dict[str, Any]:
+        """Behavior-map heatmap + gaps, overlaying live journal deltas.
+
+        ``behavior_map.json`` is only finalised at campaign boundaries; the
+        journal's ``behavior_delta`` records carry the cells opened since.
+        Journal cells win on conflict — they are the fresher fold.
+        """
+        cells = read_archive_cells(BehaviorArchive.corpus_path(self.corpus_dir))
+        archive_cells = len(cells)
+        view = read_corpus_journal_view(self.corpus_dir)
+        for cell, payload in view.behavior_cells.items():
+            if isinstance(payload, dict):
+                cells[cell] = payload
+        shaped = shape_coverage(cells)
+        shaped["sources"] = {
+            "archive_cells": archive_cells,
+            "journal_cells": len(view.behavior_cells),
+            "torn_records": view.torn_records,
+            "fenced_records": view.fenced_records,
+        }
+        return shaped
+
+    # ------------------------------------------------------------------ #
+    # /api/rankings
+    # ------------------------------------------------------------------ #
+
+    def rankings(self) -> Dict[str, Any]:
+        """Per-CCA vulnerability table from journal + corpus + triage."""
+        view = read_corpus_journal_view(self.corpus_dir)
+        index = read_corpus_index(self.corpus_dir)
+        triage_rows = []
+        for fingerprint, row in sorted(index.items()):
+            if not row.get("triaged"):
+                continue
+            entry = read_corpus_entry(self.corpus_dir, fingerprint)
+            verdict = (entry or {}).get("triage")
+            if isinstance(verdict, dict) and verdict:
+                triage_rows.append({"fingerprint": fingerprint, **verdict})
+        shaped = shape_rankings(
+            view.outcome_rows(),
+            index,
+            quarantine_counts=view.quarantine_counts(),
+            triage_rows=triage_rows,
+        )
+        shaped["corpus_dir"] = self.corpus_dir
+        return shaped
+
+    # ------------------------------------------------------------------ #
+    # /metrics
+    # ------------------------------------------------------------------ #
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition for the mounted campaign.
+
+        Prefers the campaign's own atomically-written ``metrics.prom``;
+        falls back to rendering the latest registry snapshot from the
+        telemetry stream (a still-running campaign refreshes those every
+        few seconds, long before it finalises the ``.prom`` file).
+        """
+        prom_path = Path(self.corpus_dir) / PROMETHEUS_FILENAME
+        try:
+            return prom_path.read_text(encoding="utf-8")
+        except OSError:
+            pass
+        records, _ = tail_metrics_records(self.metrics_path, 0)
+        for record in reversed(records):
+            if record.get("type") == "metrics" and isinstance(
+                record.get("registry"), dict
+            ):
+                try:
+                    return prometheus_text(record["registry"])
+                except (KeyError, TypeError, ValueError):
+                    break
+        return "# no metrics recorded yet\n"

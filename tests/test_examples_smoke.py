@@ -26,6 +26,7 @@ EXAMPLES = {
     "link_fuzzing_with_realism.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
     "triage_attack.py": ["--duration", "2.0", "--budget", "20"],
     "coverage_map.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
+    "dashboard_demo.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
     "resume_campaign.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
     "watch_campaign.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
     "worker_fleet.py": ["--generations", "2", "--population", "4", "--duration", "1.0"],
